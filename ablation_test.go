@@ -1,0 +1,190 @@
+package ensembleio
+
+// Ablation tests: remove one modelled mechanism at a time and assert
+// that the corresponding paper phenomenon disappears — evidence that
+// each phenomenon in the reproduction is produced by the mechanism
+// DESIGN.md §5 attributes it to, not by accident.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAblationSlotScheduling: with the flusher forced to pure fair
+// sharing, the Figure 1c harmonic mode structure collapses.
+func TestAblationSlotScheduling(t *testing.T) {
+	countModes := func(weights [3]float64) int {
+		m := Franklin()
+		m.SlotWeights = weights
+		run := RunIOR(IORConfig{Machine: m, Tasks: 1024, Reps: 3, Seed: 9})
+		writes := Durations(run, OpWrite)
+		h := NewHistogram(LinearBins(0, writes.Max()*1.01, 100))
+		h.AddAll(writes)
+		return len(h.Modes(ModeOpts{SmoothRadius: 2, MinProminence: 0.1, MinMass: 0.04}))
+	}
+	mixed := countModes(Franklin().SlotWeights)
+	fair := countModes([3]float64{0, 0, 1})
+	if mixed < 3 {
+		t.Errorf("mixed slots produced %d modes, want >= 3", mixed)
+	}
+	if fair >= 3 {
+		t.Errorf("pure fair share still produced %d modes; harmonics should collapse", fair)
+	}
+}
+
+// TestAblationOSTLuck: without the non-work-conserving slow-OST tail,
+// transfer splitting loses most of its benefit — the Figure 2 effect
+// needs a tail that freed bandwidth cannot compensate.
+func TestAblationOSTLuck(t *testing.T) {
+	gain := func(luck bool) float64 {
+		m := Franklin()
+		if !luck {
+			m.SlowLuckProb = 0
+		}
+		rate := func(k int) float64 {
+			sum := 0.0
+			for seed := int64(20); seed < 23; seed++ {
+				sum += RunIOR(IORConfig{
+					Machine: m, Tasks: 1024, Reps: 3,
+					TransferBytes: 512e6 / int64(k), Seed: seed,
+				}).AggregateMBps()
+			}
+			return sum / 3
+		}
+		return rate(8)/rate(1) - 1
+	}
+	withLuck := gain(true)
+	without := gain(false)
+	if withLuck < 0.05 {
+		t.Errorf("with OST luck, splitting gain %.1f%%, want >= 5%%", withLuck*100)
+	}
+	if without > withLuck/2 {
+		t.Errorf("without OST luck, splitting gain %.1f%% vs %.1f%% with: the tail should drive the effect",
+			without*100, withLuck*100)
+	}
+}
+
+// TestAblationConflicts: without extent-lock conflicts the GCRM
+// baseline's straggler-driven slowness shrinks markedly (scaled-down
+// run for test-time economy).
+func TestAblationConflicts(t *testing.T) {
+	wall := func(conflicts bool) float64 {
+		m := Franklin()
+		if !conflicts {
+			m.ConflictProbPerWriterPerOST = 0
+			m.ConflictProbMax = 0
+		}
+		return float64(RunGCRM(GCRMConfig{Machine: m, Tasks: 2560, Seed: 4}).Wall)
+	}
+	with := wall(true)
+	without := wall(false)
+	if without > with*0.9 {
+		t.Errorf("baseline %.0fs with conflicts vs %.0fs without: conflicts should cost >= 10%%", with, without)
+	}
+}
+
+// TestAblationWriteInterference: the read pathology requires
+// interleaved writes; a read-only strided workload stays fast even
+// with the defect present (this is what keeps MADbench's final
+// read-only phase clean).
+func TestAblationWriteInterference(t *testing.T) {
+	// The C phase of the cached bug run IS the ablation: identical
+	// strided reads, no writes in flight.
+	run := madbenchRun("franklin")
+	var wSlow, cSlow int
+	for _, ph := range Phases(run) {
+		for _, e := range ph.Events {
+			if e.Op != OpRead || e.Dur < 30 {
+				continue
+			}
+			switch ph.Name[0] {
+			case 'W':
+				wSlow++
+			case 'C':
+				cSlow++
+			}
+		}
+	}
+	if wSlow == 0 {
+		t.Fatal("no slow reads in the interleaved phase at all")
+	}
+	if cSlow > wSlow/10 {
+		t.Errorf("read-only phases have %d slow reads vs %d in interleaved phases: pathology should need writes",
+			cSlow, wSlow)
+	}
+}
+
+// TestPatternDetectionOnWorkloads: the online pattern detector (the
+// paper's future-work extension) classifies the real workloads'
+// streams correctly — MADbench reads are strided at the matrix slot
+// pitch, IOR read-back streams are sequential.
+func TestPatternDetectionOnWorkloads(t *testing.T) {
+	pd := DetectPatterns(madbenchRun("franklin"))
+	s := pd.Summarize(OpRead)
+	if s.Strided < s.Streams*8/10 {
+		t.Errorf("MADbench read streams: %+v, want mostly strided", s)
+	}
+	if s.DominantStride != 301e6 {
+		t.Errorf("dominant stride %d, want 301e6 (the matrix slot pitch)", s.DominantStride)
+	}
+
+	ior := RunIOR(IORConfig{
+		Machine: Franklin(), Tasks: 64, Reps: 1,
+		BlockBytes: 128e6, TransferBytes: 16e6, ReadBack: true, Seed: 2,
+	})
+	s = DetectPatterns(ior).Summarize(OpRead)
+	if s.Sequential != s.Streams || s.Streams == 0 {
+		t.Errorf("IOR read-back streams: %+v, want all sequential", s)
+	}
+}
+
+// TestProfilePersistenceEndToEnd: a profile-mode run can be persisted
+// as a few-kilobyte distribution file that preserves the ensemble
+// statistics of the full trace — the §VI claim that most of the
+// performance data never needs to be stored.
+func TestProfilePersistenceEndToEnd(t *testing.T) {
+	run := RunIOR(IORConfig{
+		Machine: Franklin(), Tasks: 1024, Reps: 5, Seed: 7,
+		Mode: TraceMode | ProfileMode,
+	})
+	p, err := ProfileOf(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf bytes.Buffer
+	if err := SaveTrace(&traceBuf, run); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > traceBuf.Len()/4 {
+		t.Errorf("profile %d B vs trace %d B: want at least 4x compression", buf.Len(), traceBuf.Len())
+	}
+	p2, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := Durations(run, OpWrite)
+	prof := p2.Duration(OpWrite)
+	if prof == nil {
+		t.Fatal("write histogram missing from reloaded profile")
+	}
+	rel := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		d := a/b - 1
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	if rel(prof.Mean(), trace.Mean()) > 0.15 {
+		t.Errorf("profile mean %.2f vs trace mean %.2f", prof.Mean(), trace.Mean())
+	}
+	if rel(prof.Quantile(0.95), trace.Quantile(0.95)) > 0.25 {
+		t.Errorf("profile p95 %.2f vs trace p95 %.2f", prof.Quantile(0.95), trace.Quantile(0.95))
+	}
+}

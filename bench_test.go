@@ -1,0 +1,292 @@
+package ensembleio
+
+// Benchmark harness: one benchmark per reproduced figure (the
+// regeneration path for every evaluation artifact in the paper), plus
+// ablation benches for the design choices called out in DESIGN.md §5
+// and micro-benchmarks of the statistical core.
+//
+// Figure benches report the simulated wall time (sim_s) and the
+// aggregate data rate (sim_MB/s) of the reproduced experiment so the
+// paper-vs-measured comparison can be read straight off `go test
+// -bench`.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func reportRun(b *testing.B, run *Run) {
+	b.ReportMetric(float64(run.Wall), "sim_s")
+	b.ReportMetric(run.AggregateMBps(), "sim_MB/s")
+}
+
+// --- Figure 1: IOR 512 MB transfers, 1024 tasks ---
+
+func BenchmarkFig1_IOR512(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := RunIOR(IORConfig{Machine: Franklin(), Tasks: 1024, Reps: 5, Seed: int64(i + 1)})
+		reportRun(b, run)
+	}
+}
+
+// --- Figure 2: transfer splitting (Law of Large Numbers) ---
+
+func BenchmarkFig2_LLN(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := RunIOR(IORConfig{
+					Machine: Franklin(), Tasks: 1024, Reps: 5,
+					TransferBytes: 512e6 / int64(k), Seed: int64(i + 1),
+				})
+				reportRun(b, run)
+			}
+		})
+	}
+}
+
+// --- Figure 4: MADbench on the two platforms ---
+
+func BenchmarkFig4_MADbenchFranklin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRun(b, RunMADbench(MADbenchConfig{Machine: Franklin(), Seed: int64(i + 1)}))
+	}
+}
+
+func BenchmarkFig4_MADbenchJaguar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRun(b, RunMADbench(MADbenchConfig{Machine: Jaguar(), Seed: int64(i + 1)}))
+	}
+}
+
+// --- Figure 5: Franklin after the Lustre patch ---
+
+func BenchmarkFig5_MADbenchFranklinPatched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRun(b, RunMADbench(MADbenchConfig{Machine: FranklinPatched(), Seed: int64(i + 1)}))
+	}
+}
+
+// --- Figure 6: GCRM baseline and the three optimizations ---
+
+func benchGCRM(b *testing.B, stage int) {
+	for i := 0; i < b.N; i++ {
+		cfg := GCRMConfig{Machine: Franklin(), Seed: int64(i + 1)}
+		if stage >= 1 {
+			cfg.Aggregators = 80
+		}
+		if stage >= 2 {
+			cfg.Align = true
+		}
+		if stage >= 3 {
+			cfg.AggregateMetadata = true
+		}
+		reportRun(b, RunGCRM(cfg))
+	}
+}
+
+func BenchmarkFig6_GCRMBaseline(b *testing.B)   { benchGCRM(b, 0) }
+func BenchmarkFig6_GCRMCollective(b *testing.B) { benchGCRM(b, 1) }
+func BenchmarkFig6_GCRMAligned(b *testing.B)    { benchGCRM(b, 2) }
+func BenchmarkFig6_GCRMMetaAgg(b *testing.B)    { benchGCRM(b, 3) }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblation_SlotScheduling contrasts the stream-slot flusher
+// against pure fair sharing: with slots forced to "all", the harmonic
+// mode structure of Figure 1c collapses to a single mode.
+func BenchmarkAblation_SlotScheduling(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		weights [3]float64
+	}{
+		{"mixed-slots", Franklin().SlotWeights},
+		{"fair-only", [3]float64{0, 0, 1}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := Franklin()
+				m.SlotWeights = mode.weights
+				run := RunIOR(IORConfig{Machine: m, Tasks: 1024, Reps: 5, Seed: int64(i + 1)})
+				writes := Durations(run, OpWrite)
+				h := NewHistogram(LinearBins(0, writes.Max()*1.01, 100))
+				h.AddAll(writes)
+				modes := h.Modes(ModeOpts{SmoothRadius: 2, MinProminence: 0.1, MinMass: 0.04})
+				b.ReportMetric(float64(len(modes)), "modes")
+				reportRun(b, run)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_StridedPatch contrasts the strided read-ahead
+// defect against the patched client (the Figure 5 before/after).
+func BenchmarkAblation_StridedPatch(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		patch bool
+	}{{"bug", false}, {"patched", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := Franklin()
+				m.PatchStridedReadahead = mode.patch
+				reportRun(b, RunMADbench(MADbenchConfig{Machine: m, Seed: int64(i + 1)}))
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ConflictModel removes the extent-lock conflict
+// stalls from the GCRM baseline, isolating their contribution to the
+// baseline's straggler-driven slowness.
+func BenchmarkAblation_ConflictModel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"conflicts-on", true}, {"conflicts-off", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := Franklin()
+				if !mode.on {
+					m.ConflictProbPerWriterPerOST = 0
+					m.ConflictProbMax = 0
+				}
+				reportRun(b, RunGCRM(GCRMConfig{Machine: m, Seed: int64(i + 1)}))
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_OSTLuck removes the non-work-conserving slow-OST
+// tail, which eliminates most of the Figure 2 splitting benefit.
+func BenchmarkAblation_OSTLuck(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"luck-on", true}, {"luck-off", false}} {
+		mode := mode
+		for _, k := range []int{1, 8} {
+			k := k
+			b.Run(fmt.Sprintf("%s/k=%d", mode.name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := Franklin()
+					if !mode.on {
+						m.SlowLuckProb = 0
+					}
+					run := RunIOR(IORConfig{
+						Machine: m, Tasks: 1024, Reps: 5,
+						TransferBytes: 512e6 / int64(k), Seed: int64(i + 1),
+					})
+					reportRun(b, run)
+				}
+			})
+		}
+	}
+}
+
+// --- Statistical core micro-benchmarks ---
+
+func syntheticDataset(n int) *Dataset {
+	xs := make([]float64, n)
+	v := 1.0
+	for i := range xs {
+		v = v*1103515245 + 12345
+		if v > 1e18 {
+			v /= 1e12
+		}
+		xs[i] = 5 + 30*float64(i%97)/97 + v/1e18
+	}
+	return NewDataset(xs)
+}
+
+func BenchmarkEnsemble_HistogramAdd(b *testing.B) {
+	h := NewHistogram(LinearBins(0, 50, 200))
+	d := syntheticDataset(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AddAll(d)
+	}
+}
+
+func BenchmarkEnsemble_Modes(b *testing.B) {
+	h := NewHistogram(LinearBins(0, 50, 200))
+	h.AddAll(syntheticDataset(100000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Modes(ModeOpts{})
+	}
+}
+
+func BenchmarkEnsemble_KS(b *testing.B) {
+	x := syntheticDataset(100000)
+	y := syntheticDataset(100001)
+	x.Sorted()
+	y.Sorted()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KS(x, y)
+	}
+}
+
+func BenchmarkEnsemble_ConvolveK8(b *testing.B) {
+	h := NewHistogram(LinearBins(0, 50, 256))
+	h.AddAll(syntheticDataset(10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvolveK(h, 8)
+	}
+}
+
+func BenchmarkEnsemble_ExpectedMax(b *testing.B) {
+	h := NewHistogram(LinearBins(0, 50, 256))
+	h.AddAll(syntheticDataset(10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpectedMax(h, 1024)
+	}
+}
+
+// --- Trace codec throughput ---
+
+func BenchmarkTraceCodec_Binary(b *testing.B) {
+	run := cachedBenchRun()
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, run); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := SaveTrace(&buf, run); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := LoadTrace(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchRun *Run
+
+func cachedBenchRun() *Run {
+	if benchRun == nil {
+		benchRun = RunIOR(IORConfig{Machine: Franklin(), Tasks: 256, Reps: 3, Seed: 42})
+	}
+	return benchRun
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// seconds per wall second for the largest workload (GCRM baseline,
+// 10,240 tasks).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := RunGCRM(GCRMConfig{Machine: Franklin(), Seed: int64(i + 1)})
+		b.ReportMetric(float64(run.Wall), "sim_s")
+	}
+}

@@ -1,0 +1,110 @@
+// Command iorbench runs the IOR micro-benchmark (§III) on the
+// simulated machine and prints the ensemble analysis: moments, the
+// completion-time histogram with its detected modes, and the advisor's
+// findings.
+//
+// Usage:
+//
+//	iorbench [-machine franklin|franklin-patched|jaguar] [-tasks N]
+//	         [-block BYTES] [-transfer BYTES] [-reps N] [-seed N]
+//	         [-trace FILE] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ensembleio"
+	"ensembleio/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iorbench: ")
+	var (
+		machine  = flag.String("machine", "franklin", "platform profile: franklin, franklin-patched, jaguar")
+		tasks    = flag.Int("tasks", 1024, "MPI tasks")
+		block    = flag.Int64("block", 512e6, "bytes written per task per repetition")
+		transfer = flag.Int64("transfer", 0, "bytes per write call (default: whole block)")
+		reps     = flag.Int("reps", 5, "synchronous repetitions")
+		seed     = flag.Int64("seed", 1, "run seed (vary to model run-to-run conditions)")
+		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
+		jsonOut  = flag.Bool("json", false, "with -trace, write JSON lines instead of binary")
+	)
+	flag.Parse()
+
+	prof, err := platform(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := ensembleio.RunIOR(ensembleio.IORConfig{
+		Machine:       prof,
+		Tasks:         *tasks,
+		BlockBytes:    *block,
+		TransferBytes: *transfer,
+		Reps:          *reps,
+		Seed:          *seed,
+	})
+
+	fmt.Printf("IOR %s: %d tasks x %d MB (transfer %d MB) x %d reps\n",
+		*machine, *tasks, *block/1e6, effTransfer(*block, *transfer)/1e6, *reps)
+	fmt.Printf("run time: %.1f s   aggregate: %.0f MB/s\n\n", float64(run.Wall), run.AggregateMBps())
+
+	writes := ensembleio.Durations(run, ensembleio.OpWrite)
+	fmt.Println("write-call durations:", writes.Moments())
+	h := ensembleio.NewHistogram(ensembleio.LinearBins(0, writes.Max()*1.01, 80))
+	h.AddAll(writes)
+	fmt.Println()
+	report.Histogram(os.Stdout, "write completion times (s)", h)
+
+	modes := h.Modes(ensembleio.ModeOpts{SmoothRadius: 2, MinProminence: 0.1, MinMass: 0.04})
+	fmt.Println()
+	report.Table(os.Stdout, report.ModeTable(modes, "s"))
+
+	if findings := ensembleio.Diagnose(run); len(findings) > 0 {
+		fmt.Println("\nadvisor findings:")
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+
+	if *trace != "" {
+		if err := saveTrace(*trace, run, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s\n", *trace)
+	}
+}
+
+func platform(name string) (ensembleio.Platform, error) {
+	switch name {
+	case "franklin":
+		return ensembleio.Franklin(), nil
+	case "franklin-patched":
+		return ensembleio.FranklinPatched(), nil
+	case "jaguar":
+		return ensembleio.Jaguar(), nil
+	}
+	return ensembleio.Platform{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func effTransfer(block, transfer int64) int64 {
+	if transfer == 0 {
+		return block
+	}
+	return transfer
+}
+
+func saveTrace(path string, run *ensembleio.Run, jsonOut bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if jsonOut {
+		return ensembleio.SaveTraceJSON(f, run)
+	}
+	return ensembleio.SaveTrace(f, run)
+}

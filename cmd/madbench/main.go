@@ -1,0 +1,120 @@
+// Command madbench runs the MADbench out-of-core I/O kernel (§IV) and
+// prints the per-phase breakdown, the read/write duration histograms
+// (log-binned, as in Figure 4c), and the advisor's findings — the
+// workflow that isolated the Lustre strided read-ahead defect.
+//
+// Usage:
+//
+//	madbench [-machine franklin|franklin-patched|jaguar] [-tasks N]
+//	         [-matrices N] [-seed N] [-trace FILE] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ensembleio"
+	"ensembleio/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("madbench: ")
+	var (
+		machine  = flag.String("machine", "franklin", "platform profile: franklin, franklin-patched, jaguar")
+		tasks    = flag.Int("tasks", 256, "MPI tasks")
+		matrices = flag.Int("matrices", 8, "matrices per task")
+		seed     = flag.Int64("seed", 1, "run seed")
+		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
+		jsonOut  = flag.Bool("json", false, "with -trace, write JSON lines instead of binary")
+	)
+	flag.Parse()
+
+	var prof ensembleio.Platform
+	switch *machine {
+	case "franklin":
+		prof = ensembleio.Franklin()
+	case "franklin-patched":
+		prof = ensembleio.FranklinPatched()
+	case "jaguar":
+		prof = ensembleio.Jaguar()
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	run := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
+		Machine:  prof,
+		Tasks:    *tasks,
+		Matrices: *matrices,
+		Seed:     *seed,
+	})
+
+	fmt.Printf("MADbench on %s: %d tasks, %d matrices\n", *machine, *tasks, *matrices)
+	fmt.Printf("run time: %.0f s   aggregate: %.0f MB/s\n\n", float64(run.Wall), run.AggregateMBps())
+
+	rows := [][]string{{"phase", "duration (s)", "read med (s)", "read p95 (s)", "write med (s)"}}
+	for _, ph := range ensembleio.Phases(run) {
+		reads := ensembleio.NewDataset(nil)
+		writes := ensembleio.NewDataset(nil)
+		for _, e := range ph.Events {
+			switch e.Op {
+			case ensembleio.OpRead:
+				reads.Add(float64(e.Dur))
+			case ensembleio.OpWrite:
+				writes.Add(float64(e.Dur))
+			}
+		}
+		row := []string{ph.Name, report.F(float64(ph.EndT-ph.StartT), 1)}
+		if reads.Len() > 0 {
+			row = append(row, report.F(reads.Quantile(0.5), 1), report.F(reads.Quantile(0.95), 1))
+		} else {
+			row = append(row, "-", "-")
+		}
+		if writes.Len() > 0 {
+			row = append(row, report.F(writes.Quantile(0.5), 1))
+		} else {
+			row = append(row, "-")
+		}
+		rows = append(rows, row)
+	}
+	report.Table(os.Stdout, rows)
+
+	reads := ensembleio.Durations(run, ensembleio.OpRead)
+	writes := ensembleio.Durations(run, ensembleio.OpWrite)
+	hr := ensembleio.NewHistogram(ensembleio.LogBins(0.5, 1000, 4))
+	hr.AddAll(reads)
+	hw := ensembleio.NewHistogram(ensembleio.LogBins(0.5, 1000, 4))
+	hw.AddAll(writes)
+	fmt.Println()
+	report.Histogram(os.Stdout, "read durations, log bins (s)", hr)
+	fmt.Println()
+	report.Histogram(os.Stdout, "write durations, log bins (s)", hw)
+
+	if findings := ensembleio.Diagnose(run); len(findings) > 0 {
+		fmt.Println("\nadvisor findings:")
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+	} else {
+		fmt.Println("\nadvisor findings: none")
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if *jsonOut {
+			err = ensembleio.SaveTraceJSON(f, run)
+		} else {
+			err = ensembleio.SaveTrace(f, run)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s\n", *trace)
+	}
+}

@@ -1,0 +1,150 @@
+// Command tracestat analyses a saved IPM-I/O trace: per-operation
+// moments, histograms (linear or log bins), detected modes, the trace
+// diagram, and the advisor's findings. It auto-detects the binary and
+// JSONL formats.
+//
+// Usage:
+//
+//	tracestat [-op read|write] [-log] [-diagram] [-ranks N] FILE
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ensembleio"
+	"ensembleio/internal/analysis"
+	"ensembleio/internal/ensemble"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/report"
+	"ensembleio/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+	var (
+		opName  = flag.String("op", "", "restrict to one op: open, close, read, write, seek, fsync")
+		logBins = flag.Bool("log", false, "log-binned histogram (for heavy-tailed traces)")
+		diagram = flag.Bool("diagram", false, "render the trace diagram")
+		ranks   = flag.Int("ranks", 0, "rank count for the diagram (default: max rank + 1)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: tracestat [flags] FILE")
+	}
+
+	events, marks, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d events, %d phase marks\n\n", flag.Arg(0), len(events), len(marks))
+
+	var filter func(ipmio.Event) bool
+	if *opName != "" {
+		op, ok := ipmio.ParseOp(*opName)
+		if !ok {
+			log.Fatalf("unknown op %q", *opName)
+		}
+		filter = analysis.IsOp(op)
+	}
+
+	// Per-op summary table.
+	rows := [][]string{{"op", "n", "bytes (MB)", "med (s)", "p95 (s)", "max (s)"}}
+	for op := ensembleio.OpOpen; op <= ensembleio.OpFsync; op++ {
+		d := ensemble.NewDataset(nil)
+		var bytes int64
+		for _, e := range events {
+			if e.Op == op {
+				d.Add(float64(e.Dur))
+				bytes += e.Bytes
+			}
+		}
+		if d.Len() == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			op.String(), fmt.Sprint(d.Len()), report.F(float64(bytes)/1e6, 0),
+			report.F(d.Quantile(0.5), 3), report.F(d.Quantile(0.95), 3), report.F(d.Max(), 3),
+		})
+	}
+	report.Table(os.Stdout, rows)
+
+	d := analysis.Durations(events, filter)
+	if d.Len() > 0 {
+		fmt.Println()
+		var h *ensemble.Histogram
+		if *logBins {
+			lo := d.Min()
+			if lo <= 0 {
+				lo = 1e-6
+			}
+			h = ensemble.NewHistogram(ensemble.LogBins(lo, d.Max()*1.01, 4))
+		} else {
+			h = ensemble.NewHistogram(ensemble.LinearBins(0, d.Max()*1.01, 60))
+		}
+		h.AddAll(d)
+		report.Histogram(os.Stdout, "durations (s)", h)
+		modes := h.Modes(ensemble.ModeOpts{SmoothRadius: 2, MinProminence: 0.1, MinMass: 0.04})
+		if len(modes) > 0 {
+			fmt.Println()
+			report.Table(os.Stdout, report.ModeTable(modes, "s"))
+		}
+	}
+
+	if *diagram {
+		n := *ranks
+		end := sim.Time(0)
+		for _, e := range events {
+			if e.Rank+1 > n {
+				n = e.Rank + 1
+			}
+			if e.Start+e.Dur > end {
+				end = e.Start + e.Dur
+			}
+		}
+		fmt.Println("\ntrace diagram (W=write R=read M=mixed .=idle):")
+		fmt.Print(analysis.TraceDiagram(events, n, 100, 24, end))
+	}
+
+	// Online pattern classification per op — the hint stream a pattern-
+	// aware file system would consume.
+	pd := ipmio.NewPatternDetector()
+	for _, e := range events {
+		pd.Observe(e)
+	}
+	fmt.Println("\naccess patterns:")
+	for _, op := range []ipmio.Op{ipmio.OpRead, ipmio.OpWrite} {
+		if s := pd.Summarize(op); s.Streams > 0 {
+			fmt.Printf("  %-5s %s\n", op, s)
+		}
+	}
+
+	if findings := analysis.Diagnose(events, analysis.DiagnoseConfig{}); len(findings) > 0 {
+		fmt.Println("\nadvisor findings:")
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+}
+
+// load auto-detects the trace format by its first byte ('{' = JSONL).
+func load(path string) ([]ipmio.Event, []ipmio.PhaseMark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("empty trace: %w", err)
+	}
+	if first[0] == '{' {
+		return ensembleio.LoadTraceJSON(br)
+	}
+	return ensembleio.LoadTrace(br)
+}

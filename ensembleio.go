@@ -1,0 +1,353 @@
+// Package ensembleio reproduces "Parallel I/O Performance: From Events
+// to Ensembles" (Uselton et al., IPDPS 2010) as a runnable system: a
+// simulated Cray-XT-class machine with a Lustre-like parallel file
+// system, an IPM-I/O-style tracing layer, the paper's three workloads
+// (IOR, MADbench, GCRM), and — the core contribution — a statistical
+// toolkit that analyses populations of I/O events as ensembles:
+// histograms, moments, modes, order statistics and
+// Law-of-Large-Numbers predictions.
+//
+// Quick start:
+//
+//	run := ensembleio.RunIOR(ensembleio.IORConfig{
+//		Machine: ensembleio.Franklin(),
+//		Tasks:   1024,
+//		Reps:    5,
+//	})
+//	writes := ensembleio.Durations(run, ensembleio.OpWrite)
+//	hist := ensembleio.NewHistogram(ensembleio.LinearBins(0, writes.Max()*1.01, 100))
+//	hist.AddAll(writes)
+//	for _, mode := range hist.Modes(ensembleio.ModeOpts{}) {
+//		fmt.Printf("mode at %.1fs mass=%.2f\n", mode.Center, mode.Mass)
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced figure.
+package ensembleio
+
+import (
+	"io"
+
+	"ensembleio/internal/sim"
+
+	"ensembleio/internal/analysis"
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/ensemble"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/tracefmt"
+	"ensembleio/internal/workloads"
+)
+
+// Platform describes a machine and file-system behaviour profile.
+type Platform = cluster.Profile
+
+// Franklin returns the LBNL Cray XT4 profile (the paper's primary
+// platform, exhibiting the strided read-ahead defect by default).
+func Franklin() Platform { return cluster.Franklin() }
+
+// FranklinPatched returns Franklin with the Lustre strided read-ahead
+// patch of §IV-C installed.
+func FranklinPatched() Platform {
+	p := cluster.Franklin()
+	p.PatchStridedReadahead = true
+	return p
+}
+
+// Jaguar returns the ORNL XT4-partition profile.
+func Jaguar() Platform { return cluster.Jaguar() }
+
+// Workload configurations and runner entry points.
+type (
+	// IORConfig parametrizes the IOR micro-benchmark (§III).
+	IORConfig = workloads.IORConfig
+	// MADbenchConfig parametrizes the MADbench I/O kernel (§IV).
+	MADbenchConfig = workloads.MADbenchConfig
+	// GCRMConfig parametrizes the GCRM I/O kernel (§V).
+	GCRMConfig = workloads.GCRMConfig
+	// Run is a workload execution artifact.
+	Run = workloads.Run
+)
+
+// RunIOR executes the IOR benchmark on the simulated machine.
+func RunIOR(cfg IORConfig) *Run { return workloads.RunIOR(cfg) }
+
+// RunMADbench executes the MADbench I/O kernel.
+func RunMADbench(cfg MADbenchConfig) *Run { return workloads.RunMADbench(cfg) }
+
+// RunGCRM executes the GCRM I/O kernel.
+func RunGCRM(cfg GCRMConfig) *Run { return workloads.RunGCRM(cfg) }
+
+// CheckpointConfig parametrizes the generic compute/checkpoint cycle.
+type CheckpointConfig = workloads.CheckpointConfig
+
+// CheckpointResult is a checkpoint run with per-step I/O costs.
+type CheckpointResult = workloads.CheckpointResult
+
+// RunCheckpoint executes a compute/checkpoint cycle.
+func RunCheckpoint(cfg CheckpointConfig) *CheckpointResult {
+	return workloads.RunCheckpoint(cfg)
+}
+
+// Trace event model (IPM-I/O).
+type (
+	// Event is one traced I/O call.
+	Event = ipmio.Event
+	// Op identifies the traced call type.
+	Op = ipmio.Op
+	// PhaseMark labels a phase boundary.
+	PhaseMark = ipmio.PhaseMark
+	// Collector aggregates trace events and online profiles.
+	Collector = ipmio.Collector
+)
+
+// Traced operations.
+const (
+	OpOpen  = ipmio.OpOpen
+	OpClose = ipmio.OpClose
+	OpRead  = ipmio.OpRead
+	OpWrite = ipmio.OpWrite
+	OpSeek  = ipmio.OpSeek
+	OpFsync = ipmio.OpFsync
+)
+
+// Collection modes.
+const (
+	TraceMode   = ipmio.TraceMode
+	ProfileMode = ipmio.ProfileMode
+	PatternMode = ipmio.PatternMode
+)
+
+// Access-pattern classification (the paper's future-work extension:
+// online pattern detection feeding hints to the file system).
+type (
+	// Pattern classifies an access stream.
+	Pattern = ipmio.Pattern
+	// PatternSummary aggregates stream classifications for one op.
+	PatternSummary = ipmio.PatternSummary
+	// PatternDetector classifies access streams online.
+	PatternDetector = ipmio.PatternDetector
+)
+
+// Stream classifications.
+const (
+	PatternUnknown    = ipmio.PatternUnknown
+	PatternSequential = ipmio.PatternSequential
+	PatternStrided    = ipmio.PatternStrided
+	PatternRandom     = ipmio.PatternRandom
+)
+
+// DetectPatterns classifies every access stream of a traced run by
+// replaying its events through the online detector.
+func DetectPatterns(run *Run) *PatternDetector {
+	pd := ipmio.NewPatternDetector()
+	for _, e := range run.Collector.Events {
+		pd.Observe(e)
+	}
+	return pd
+}
+
+// Ensemble statistics (the paper's core).
+type (
+	// Dataset is an ensemble of scalar observations.
+	Dataset = ensemble.Dataset
+	// Histogram is a streaming binned distribution.
+	Histogram = ensemble.Histogram
+	// Bins defines a histogram binning.
+	Bins = ensemble.Bins
+	// Mode is one detected distribution peak.
+	Mode = ensemble.Mode
+	// ModeOpts tunes peak detection.
+	ModeOpts = ensemble.ModeOpts
+	// Moments is a distribution moment summary.
+	Moments = ensemble.Moments
+)
+
+// NewDataset wraps raw observations as an ensemble.
+func NewDataset(xs []float64) *Dataset { return ensemble.NewDataset(xs) }
+
+// NewHistogram returns an empty histogram over the binning.
+func NewHistogram(b Bins) *Histogram { return ensemble.NewHistogram(b) }
+
+// LinearBins returns n equal-width bins over [lo, hi).
+func LinearBins(lo, hi float64, n int) Bins { return ensemble.LinearBins(lo, hi, n) }
+
+// LogBins returns log-spaced bins (the paper's log-log histograms).
+func LogBins(lo, hi float64, perDecade int) Bins { return ensemble.LogBins(lo, hi, perDecade) }
+
+// KS returns the two-sample Kolmogorov-Smirnov distance.
+func KS(a, b *Dataset) float64 { return ensemble.KS(a, b) }
+
+// Wasserstein returns the earth-mover distance between two ensembles.
+func Wasserstein(a, b *Dataset) float64 { return ensemble.Wasserstein(a, b) }
+
+// GaussianKS scores how far an ensemble is from its fitted Gaussian.
+func GaussianKS(d *Dataset) float64 { return ensemble.GaussianKS(d) }
+
+// KDE is a Gaussian kernel density estimate — a binning-free second
+// opinion for mode detection.
+type KDE = ensemble.KDE
+
+// NewKDE builds a kernel density estimate (bandwidth 0 selects
+// Silverman's rule).
+func NewKDE(d *Dataset, bandwidth float64) *KDE { return ensemble.NewKDE(d, bandwidth) }
+
+// Summarize computes the full ensemble characterization: moments,
+// modes with harmonic analysis, tail index and normality score.
+func Summarize(d *Dataset) ensemble.Summary {
+	return ensemble.Summarize(d, ensemble.SummaryOpts{})
+}
+
+// ExpectedMax estimates the expected slowest of n draws (Eq. 1's
+// order-statistic view of barrier-synchronized phase time).
+func ExpectedMax(h *Histogram, n int) float64 { return ensemble.ExpectedMax(h, n) }
+
+// SplitPrediction predicts the slowest-task total when one transfer is
+// split into k calls (the Fig. 2 Law-of-Large-Numbers effect).
+func SplitPrediction(single *Dataset, k, nTasks int) float64 {
+	return ensemble.SplitPrediction(single, k, nTasks)
+}
+
+// ConvolveK returns the distribution of the sum of k iid draws from a
+// linearly binned histogram — the t_k construction of §III-A.
+func ConvolveK(h *Histogram, k int) *Histogram { return ensemble.ConvolveK(h, k) }
+
+// Durations extracts the duration ensemble of one op type from a run.
+func Durations(run *Run, op Op) *Dataset {
+	return run.Collector.Dataset(func(e Event) bool { return e.Op == op })
+}
+
+// DataWrites extracts size-normalized (seconds per MB) durations of
+// data-class writes (above the small-I/O threshold), the normalization
+// of the GCRM histograms.
+func DataWrites(run *Run) *Dataset {
+	return analysis.SecPerMB(run.Collector.Events, func(e Event) bool {
+		return e.Op == OpWrite && e.Bytes > 64<<10
+	})
+}
+
+// Analysis layer.
+type (
+	// Phase is a barrier-delimited slice of a run.
+	Phase = analysis.Phase
+	// Finding is one advisor diagnosis.
+	Finding = analysis.Finding
+	// Series is a sampled aggregate-rate time series.
+	Series = analysis.Series
+)
+
+// Phases slices a run into its barrier-delimited phases.
+func Phases(run *Run) []Phase {
+	return analysis.Phases(run.Collector.Events, run.Collector.Marks, run.Wall)
+}
+
+// RateSeries computes the aggregate data-rate time series of a run for
+// one op type (Figures 1b, 4b, 6b).
+func RateSeries(run *Run, op Op, dt float64) Series {
+	return analysis.RateSeries(run.Collector.Events, analysis.IsOp(op), sim.Duration(dt), run.Wall)
+}
+
+// TraceDiagram renders the run's trace raster (Figures 1a, 4a, 6a).
+func TraceDiagram(run *Run, width, height int) string {
+	return analysis.TraceDiagram(run.Collector.Events, run.Tasks, width, height, run.Wall)
+}
+
+// Diagnose inspects a run's trace for the bottleneck signatures of the
+// paper's case studies.
+func Diagnose(run *Run) []Finding {
+	return analysis.Diagnose(run.Collector.Events, analysis.DiagnoseConfig{})
+}
+
+// Gap is one idle interval of a rank between consecutive events.
+type Gap = analysis.Gap
+
+// RankActivity summarizes one rank's busy and exclusive-busy time.
+type RankActivity = analysis.RankActivity
+
+// Gaps returns each rank's idle intervals longer than minGap seconds.
+func Gaps(run *Run, minGap float64) []Gap {
+	return analysis.Gaps(run.Collector.Events, sim.Duration(minGap))
+}
+
+// RankActivities computes per-rank busy and exclusive-busy time.
+func RankActivities(run *Run) []RankActivity {
+	return analysis.RankActivities(run.Collector.Events)
+}
+
+// Serializer names the rank whose exclusive I/O activity dominates the
+// run span (the Figure 6g single-rank bottleneck), if any.
+func Serializer(run *Run) (rank int, frac float64, ok bool) {
+	return analysis.Serializer(run.Collector.Events, 0.25)
+}
+
+// Reproducibility quantifies ensemble stability between two runs of
+// the same experiment (KS distance; below 0.1 counts as reproducible).
+func Reproducibility(a, b *Dataset) (ks float64, reproducible bool) {
+	return analysis.Reproducibility(a, b)
+}
+
+// Comparison is a per-operation reproducibility report for two runs.
+type Comparison = analysis.Comparison
+
+// CompareRuns compares two runs' ensembles op by op against adaptive
+// (sample-size-aware) KS thresholds.
+func CompareRuns(a, b *Run) Comparison {
+	return analysis.CompareEvents(a.Collector.Events, b.Collector.Events, 0, 0)
+}
+
+// Sweep drivers for the paper's iterated experiments.
+type (
+	// TransferPoint is one point of a Figure 2 transfer-size sweep.
+	TransferPoint = workloads.TransferPoint
+	// WriterPoint is one point of a §V writer-count sweep.
+	WriterPoint = workloads.WriterPoint
+)
+
+// IORTransferSweep runs the Figure 2 splitting experiment.
+func IORTransferSweep(base IORConfig, ks []int, seeds []int64) []TransferPoint {
+	return workloads.IORTransferSweep(base, ks, seeds)
+}
+
+// IORWriterSweep runs the §V writer-saturation experiment, averaging
+// walls over the given seeds.
+func IORWriterSweep(prof Platform, counts []int, totalTransfers int, transferBytes int64, seeds []int64) []WriterPoint {
+	return workloads.IORWriterSweep(prof, counts, totalTransfers, transferBytes, seeds)
+}
+
+// SaturationPoint locates the smallest writer count within slack of
+// the best wall time in a writer sweep.
+func SaturationPoint(points []WriterPoint, slack float64) (writers int, bestWall float64) {
+	return workloads.SaturationPoint(points, slack)
+}
+
+// SaveTrace writes a run's trace in the compact binary format.
+func SaveTrace(w io.Writer, run *Run) error {
+	return tracefmt.WriteBinary(w, run.Collector.Events, run.Collector.Marks)
+}
+
+// SaveTraceJSON writes a run's trace as JSON lines.
+func SaveTraceJSON(w io.Writer, run *Run) error {
+	return tracefmt.WriteJSONL(w, run.Collector.Events, run.Collector.Marks)
+}
+
+// LoadTrace reads a binary trace.
+func LoadTrace(r io.Reader) ([]Event, []PhaseMark, error) {
+	return tracefmt.ReadBinary(r)
+}
+
+// LoadTraceJSON reads a JSONL trace.
+func LoadTraceJSON(r io.Reader) ([]Event, []PhaseMark, error) {
+	return tracefmt.ReadJSONL(r)
+}
+
+// Profile is the persistent, distribution-only form of a profile-mode
+// collection — "just enough to define the distribution" (§VI).
+type Profile = tracefmt.Profile
+
+// ProfileOf extracts the persistent profile from a profile-mode run.
+func ProfileOf(run *Run) (*Profile, error) { return tracefmt.ProfileOf(run.Collector) }
+
+// SaveProfile writes a profile as JSON.
+func SaveProfile(w io.Writer, p *Profile) error { return tracefmt.WriteProfile(w, p) }
+
+// LoadProfile reads a profile.
+func LoadProfile(r io.Reader) (*Profile, error) { return tracefmt.ReadProfile(r) }

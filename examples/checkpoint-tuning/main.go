@@ -1,0 +1,69 @@
+// Checkpoint tuning: apply the ensemble methodology to the generic
+// compute/checkpoint cycle that motivates the paper — measure the
+// write ensemble of a baseline run, use the order-statistic/LLN
+// predictor to pick a transfer split, and verify the improvement by
+// re-running.
+//
+//	go run ./examples/checkpoint-tuning
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ensembleio"
+	"ensembleio/internal/report"
+)
+
+func main() {
+	base := ensembleio.RunCheckpoint(ensembleio.CheckpointConfig{
+		Machine: ensembleio.Franklin(),
+		Tasks:   256,
+		Steps:   4,
+		Seed:    1,
+	})
+	fmt.Printf("baseline: wall %.0fs, I/O fraction %.0f%%, per-step checkpoint cost %v\n\n",
+		float64(base.Wall), base.IOFraction()*100, fmtSteps(base.StepIOSec))
+
+	// The single-call write ensemble predicts how splitting would pay.
+	single := ensembleio.Durations(base.Run, ensembleio.OpWrite)
+	rows := [][]string{{"k", "predicted slowest task (s)"}}
+	bestK, bestPred := 1, ensembleio.SplitPrediction(single, 1, base.Tasks)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		pred := ensembleio.SplitPrediction(single, k, base.Tasks)
+		rows = append(rows, []string{fmt.Sprint(k), report.F(pred, 1)})
+		if pred < bestPred {
+			bestK, bestPred = k, pred
+		}
+	}
+	report.Table(os.Stdout, rows)
+	fmt.Printf("\npredictor picks k=%d; re-running with %d MB transfers...\n\n",
+		bestK, 256/bestK)
+
+	tuned := ensembleio.RunCheckpoint(ensembleio.CheckpointConfig{
+		Machine:       ensembleio.Franklin(),
+		Tasks:         256,
+		Steps:         4,
+		TransferBytes: 256e6 / int64(bestK),
+		Seed:          2,
+	})
+	fmt.Printf("tuned:    wall %.0fs, I/O fraction %.0f%%, per-step checkpoint cost %v\n",
+		float64(tuned.Wall), tuned.IOFraction()*100, fmtSteps(tuned.StepIOSec))
+	fmt.Printf("checkpoint time change: %.0f%%\n", (sum(tuned.StepIOSec)/sum(base.StepIOSec)-1)*100)
+}
+
+func fmtSteps(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = report.F(x, 1)
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

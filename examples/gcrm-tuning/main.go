@@ -1,0 +1,66 @@
+// GCRM tuning: walk the §V optimization ladder. At each step the
+// ensemble analysis (per-task rate distribution + advisor findings)
+// names the next bottleneck, the corresponding optimization is
+// applied, and the run time falls — from the baseline to >4x faster.
+//
+//	go run ./examples/gcrm-tuning        (full 10,240-task scale)
+//	go run ./examples/gcrm-tuning -small (2,560 tasks, quicker)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ensembleio"
+)
+
+func main() {
+	small := flag.Bool("small", false, "run at 2,560 tasks instead of 10,240")
+	flag.Parse()
+	tasks := 10240
+	if *small {
+		tasks = 2560
+	}
+
+	steps := []struct {
+		title string
+		apply func(*ensembleio.GCRMConfig)
+		note  string
+	}{
+		{"baseline: every task writes its own 1.6 MB records + rank 0 streams metadata",
+			func(c *ensembleio.GCRMConfig) {},
+			"the advisor flags writer oversubscription, misalignment and serialized metadata"},
+		{"opt 1 — collective buffering: 80 aggregator writers (paper: 1.6x)",
+			func(c *ensembleio.GCRMConfig) { c.Aggregators = 80 },
+			"per-writer rates jump to the ~100 MB/s scale; metadata still dominates"},
+		{"opt 2 — align records to 1 MB stripes (paper: 310 -> 150 s cumulative)",
+			func(c *ensembleio.GCRMConfig) { c.Aggregators = 80; c.Align = true },
+			"the slow conflict bulge disappears; serialized metadata is now the wall"},
+		{"opt 3 — aggregate metadata into one deferred 1 MB write (paper: 75 s, >4x)",
+			func(c *ensembleio.GCRMConfig) { c.Aggregators = 80; c.Align = true; c.AggregateMetadata = true },
+			"no small-write stream left; the job is data-bound"},
+	}
+
+	var baseline float64
+	for i, step := range steps {
+		cfg := ensembleio.GCRMConfig{Machine: ensembleio.Franklin(), Tasks: tasks, Seed: 1}
+		step.apply(&cfg)
+		run := ensembleio.RunGCRM(cfg)
+		if i == 0 {
+			baseline = float64(run.Wall)
+		}
+
+		fmt.Printf("%s\n", step.title)
+		data := ensembleio.DataWrites(run)
+		fmt.Printf("  run %.0f s (%.1fx vs baseline), sustained %.0f MB/s, median per-writer %.2f MB/s\n",
+			float64(run.Wall), baseline/float64(run.Wall), run.AggregateMBps(), 1/data.Quantile(0.5))
+		findings := ensembleio.Diagnose(run)
+		if len(findings) == 0 {
+			fmt.Println("  advisor: clean")
+		}
+		for _, f := range findings {
+			fmt.Printf("  advisor: %s\n", f)
+		}
+		fmt.Printf("  -> %s\n\n", step.note)
+	}
+}

@@ -1,0 +1,76 @@
+// LLN splitting: reproduce the Figure 2 exploration — splitting each
+// task's 512 MB block into k successive write calls makes the worst
+// case faster even though total bytes are unchanged, and the Eq.-1 /
+// Law-of-Large-Numbers machinery predicts it from the k=1 ensemble
+// alone.
+//
+//	go run ./examples/lln-splitting
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ensembleio"
+	"ensembleio/internal/report"
+)
+
+func main() {
+	fmt.Println("IOR 1024 x 512 MB on Franklin, splitting each block into k calls")
+	fmt.Println()
+
+	// First, measure the k=1 single-call ensemble. Everything the
+	// statistical model needs is in this one distribution.
+	base := ensembleio.RunIOR(ensembleio.IORConfig{
+		Machine: ensembleio.Franklin(), Tasks: 1024, Reps: 5, Seed: 1,
+	})
+	single := ensembleio.Durations(base, ensembleio.OpWrite)
+
+	rows := [][]string{{"k", "transfer", "measured MB/s", "task-total CV", "predicted slowest (s)"}}
+	for _, k := range []int{1, 2, 4, 8} {
+		run := base
+		if k > 1 {
+			run = ensembleio.RunIOR(ensembleio.IORConfig{
+				Machine: ensembleio.Franklin(), Tasks: 1024, Reps: 5,
+				TransferBytes: 512e6 / int64(k), Seed: 1,
+			})
+		}
+
+		// Group each rank's k calls back into per-task totals.
+		sums := map[[2]int]float64{}
+		counts := map[int]int{}
+		for _, e := range run.Collector.Events {
+			if e.Op != ensembleio.OpWrite {
+				continue
+			}
+			rep := counts[e.Rank] / k
+			counts[e.Rank]++
+			sums[[2]int{e.Rank, rep}] += float64(e.Dur)
+		}
+		totals := ensembleio.NewDataset(nil)
+		for _, v := range sums {
+			totals.Add(v)
+		}
+
+		rows = append(rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprintf("%d MB", 512/k),
+			report.F(run.AggregateMBps(), 0),
+			report.F(totals.CV(), 3),
+			report.F(ensembleio.SplitPrediction(single, k, 1024), 1),
+		})
+	}
+	report.Table(os.Stdout, rows)
+
+	fmt.Println(`
+Reading the table:
+  - measured MB/s rises with k even though the same bytes move — the
+    run is paced by the slowest task, and splitting narrows per-task
+    totals (Law of Large Numbers), pulling the worst case toward the
+    mean;
+  - task-total CV falls roughly like 1/sqrt(k);
+  - the prediction column uses ONLY the k=1 ensemble: the k-fold
+    convolution of the single-call distribution, pushed through the
+    slowest-of-1024 order statistic (Eq. 1). The trend matches the
+    measurement without re-running anything.`)
+}

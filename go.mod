@@ -1,0 +1,3 @@
+module ensembleio
+
+go 1.24

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ensembleio/internal/ensemble"
+	"ensembleio/internal/ipmio"
+)
+
+// Run comparison: the reproducibility methodology as a library call.
+// Two runs of the same experiment should have per-operation duration
+// ensembles that agree within sampling noise, even though their traces
+// differ event by event.
+
+// OpComparison is the distance between two runs' ensembles for one op.
+type OpComparison struct {
+	Op          ipmio.Op
+	NA, NB      int
+	KS          float64
+	Wasserstein float64
+	// Threshold is the KS limit this pair was judged against.
+	Threshold float64
+	Same      bool
+}
+
+func (o OpComparison) String() string {
+	verdict := "same"
+	if !o.Same {
+		verdict = "DIFFERENT"
+	}
+	return fmt.Sprintf("%s: n=%d/%d KS=%.3f (limit %.3f) W=%.3f -> %s",
+		o.Op, o.NA, o.NB, o.KS, o.Threshold, o.Wasserstein, verdict)
+}
+
+// Comparison aggregates per-op comparisons into a verdict.
+type Comparison struct {
+	Ops []OpComparison
+	// Reproducible is true when every compared op's ensembles are
+	// statistically indistinguishable.
+	Reproducible bool
+}
+
+// KSCriticalValue returns the two-sample Kolmogorov-Smirnov critical
+// value at significance alpha for sample sizes nA, nB:
+// c(alpha) * sqrt((nA+nB)/(nA*nB)) with c = sqrt(-ln(alpha/2)/2).
+func KSCriticalValue(alpha float64, nA, nB int) float64 {
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(nA+nB)/(float64(nA)*float64(nB)))
+}
+
+// CompareEvents compares two traces op by op. ksThreshold fixes the
+// verdict limit; pass 0 for the adaptive alpha=0.001 critical value
+// (floored at 0.1). Ops with fewer than minEvents samples on either
+// side are skipped (minEvents <= 0 selects 20).
+func CompareEvents(a, b []ipmio.Event, ksThreshold float64, minEvents int) Comparison {
+	if minEvents <= 0 {
+		minEvents = 20
+	}
+	out := Comparison{Reproducible: true}
+	for op := ipmio.OpOpen; op <= ipmio.OpFsync; op++ {
+		dA := Durations(a, IsOp(op))
+		dB := Durations(b, IsOp(op))
+		if dA.Len() < minEvents || dB.Len() < minEvents {
+			continue
+		}
+		limit := ksThreshold
+		if limit <= 0 {
+			limit = KSCriticalValue(0.001, dA.Len(), dB.Len())
+			if limit < 0.1 {
+				limit = 0.1
+			}
+		}
+		ks := ensemble.KS(dA, dB)
+		oc := OpComparison{
+			Op: op, NA: dA.Len(), NB: dB.Len(),
+			KS: ks, Wasserstein: ensemble.Wasserstein(dA, dB),
+			Threshold: limit, Same: ks < limit,
+		}
+		if !oc.Same {
+			out.Reproducible = false
+		}
+		out.Ops = append(out.Ops, oc)
+	}
+	return out
+}

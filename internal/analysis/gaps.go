@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"sort"
+
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/sim"
+)
+
+// Gap analysis: the white space of a trace diagram, quantified. In
+// Figure 6(g) the decisive observation is that "the total run time was
+// dominated by the serialized metadata operations on task 0" — i.e.
+// long periods where a single rank is busy while every other rank
+// idles. This file computes per-rank activity, idle gaps, and the
+// exclusive-activity attribution that names such a serializer.
+
+// RankActivity summarizes one rank's share of the run.
+type RankActivity struct {
+	Rank   int
+	Events int
+	// Busy is the union length of the rank's event intervals.
+	Busy sim.Duration
+	// Exclusive is the length of time this rank was the ONLY busy
+	// rank in the whole job.
+	Exclusive sim.Duration
+}
+
+// Gap is one idle interval of a rank between consecutive events.
+type Gap struct {
+	Rank  int
+	Start sim.Time
+	End   sim.Time
+}
+
+// Dur returns the gap length.
+func (g Gap) Dur() sim.Duration { return g.End - g.Start }
+
+// Gaps returns each rank's idle intervals longer than minGap, between
+// its first and last event.
+func Gaps(events []ipmio.Event, minGap sim.Duration) []Gap {
+	byRank := make(map[int][]ipmio.Event)
+	for _, e := range events {
+		byRank[e.Rank] = append(byRank[e.Rank], e)
+	}
+	var out []Gap
+	for rank, evs := range byRank {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		var lastEnd sim.Time
+		first := true
+		for _, e := range evs {
+			if !first && e.Start-lastEnd > minGap {
+				out = append(out, Gap{Rank: rank, Start: lastEnd, End: e.Start})
+			}
+			if end := e.Start + e.Dur; first || end > lastEnd {
+				lastEnd = end
+			}
+			first = false
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// RankActivities computes per-rank busy and exclusive-busy time with a
+// single boundary sweep over all event intervals.
+func RankActivities(events []ipmio.Event) []RankActivity {
+	if len(events) == 0 {
+		return nil
+	}
+	type boundary struct {
+		t     sim.Time
+		rank  int
+		delta int
+	}
+	var bounds []boundary
+	counts := make(map[int]int) // events per rank
+	for _, e := range events {
+		counts[e.Rank]++
+		if e.Dur <= 0 {
+			continue
+		}
+		bounds = append(bounds, boundary{t: e.Start, rank: e.Rank, delta: +1})
+		bounds = append(bounds, boundary{t: e.Start + e.Dur, rank: e.Rank, delta: -1})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].t < bounds[j].t })
+
+	depth := make(map[int]int) // per-rank overlap depth
+	since := make(map[int]sim.Time)
+	active := make(map[int]struct{})
+	busy := make(map[int]sim.Duration)
+	exclusive := make(map[int]sim.Duration)
+	soloRank := -1
+	var soloSince sim.Time
+	for i := 0; i < len(bounds); {
+		t := bounds[i].t
+		// Apply all boundaries at this instant; account per-rank busy
+		// time and job-wide exclusive time only at transitions.
+		for i < len(bounds) && bounds[i].t == t {
+			b := bounds[i]
+			was := depth[b.rank]
+			depth[b.rank] = was + b.delta
+			now := depth[b.rank]
+			if was == 0 && now > 0 {
+				since[b.rank] = t
+				active[b.rank] = struct{}{}
+			}
+			if was > 0 && now == 0 {
+				busy[b.rank] += t - since[b.rank]
+				delete(active, b.rank)
+			}
+			i++
+		}
+		// Exclusive tracking: close any ended solo period, open a new
+		// one when exactly one rank remains busy.
+		if soloRank >= 0 && (len(active) != 1 || depth[soloRank] == 0) {
+			exclusive[soloRank] += t - soloSince
+			soloRank = -1
+		}
+		if soloRank < 0 && len(active) == 1 {
+			for r := range active {
+				soloRank = r
+			}
+			soloSince = t
+		}
+	}
+
+	var out []RankActivity
+	for rank, n := range counts {
+		out = append(out, RankActivity{
+			Rank:      rank,
+			Events:    n,
+			Busy:      busy[rank],
+			Exclusive: exclusive[rank],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Serializer names the rank whose exclusive activity dominates the
+// run: the single-rank bottleneck of Figure 6(g). It returns the rank,
+// the fraction of the event span it held exclusively, and ok=true when
+// that fraction exceeds threshold (e.g. 0.25).
+func Serializer(events []ipmio.Event, threshold float64) (rank int, frac float64, ok bool) {
+	acts := RankActivities(events)
+	if len(acts) < 2 {
+		return 0, 0, false
+	}
+	var minStart, maxEnd sim.Time
+	first := true
+	for _, e := range events {
+		if first || e.Start < minStart {
+			minStart = e.Start
+		}
+		if end := e.Start + e.Dur; first || end > maxEnd {
+			maxEnd = end
+		}
+		first = false
+	}
+	span := maxEnd - minStart
+	if span <= 0 {
+		return 0, 0, false
+	}
+	best := acts[0]
+	for _, a := range acts[1:] {
+		if a.Exclusive > best.Exclusive {
+			best = a
+		}
+	}
+	frac = float64(best.Exclusive / span)
+	return best.Rank, frac, frac >= threshold
+}

@@ -1,0 +1,85 @@
+// Package analysis applies the ensemble methodology to IPM-I/O
+// traces: slicing runs into barrier-delimited phases, computing the
+// aggregate-rate time series and trace diagrams of the paper's
+// figures, and diagnosing the bottleneck signatures the case studies
+// isolate (node-serialized write scheduling, strided read-ahead
+// pathology, serialized metadata, misalignment, writer over-
+// subscription).
+package analysis
+
+import (
+	"ensembleio/internal/ensemble"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/sim"
+)
+
+// Phase is one slice of a run between consecutive phase marks.
+type Phase struct {
+	Name   string
+	StartT sim.Time
+	EndT   sim.Time
+	Events []ipmio.Event
+}
+
+// Phases splits events into the intervals delimited by marks (which
+// must be in time order); end closes the final phase. Events are
+// assigned by start time. Events before the first mark are grouped
+// into a synthetic "pre" phase if any exist.
+func Phases(events []ipmio.Event, marks []ipmio.PhaseMark, end sim.Time) []Phase {
+	var phases []Phase
+	if len(marks) == 0 {
+		return []Phase{{Name: "all", StartT: 0, EndT: end, Events: events}}
+	}
+	if len(events) > 0 && events[0].Start < marks[0].T {
+		phases = append(phases, Phase{Name: "pre", StartT: 0, EndT: marks[0].T})
+	}
+	for i, m := range marks {
+		e := end
+		if i+1 < len(marks) {
+			e = marks[i+1].T
+		}
+		phases = append(phases, Phase{Name: m.Name, StartT: m.T, EndT: e})
+	}
+	for _, ev := range events {
+		for i := range phases {
+			if ev.Start >= phases[i].StartT && (ev.Start < phases[i].EndT || i == len(phases)-1) {
+				phases[i].Events = append(phases[i].Events, ev)
+				break
+			}
+		}
+	}
+	return phases
+}
+
+// Durations extracts the durations of events matching the filter (nil
+// accepts all) as an ensemble dataset.
+func Durations(events []ipmio.Event, filter func(ipmio.Event) bool) *ensemble.Dataset {
+	d := ensemble.NewDataset(nil)
+	for _, ev := range events {
+		if filter == nil || filter(ev) {
+			d.Add(float64(ev.Dur))
+		}
+	}
+	return d
+}
+
+// SecPerMB extracts size-normalized durations (seconds per MB) of
+// sized events matching the filter — the normalization of the GCRM
+// histograms, which mix record and metadata transfer sizes.
+func SecPerMB(events []ipmio.Event, filter func(ipmio.Event) bool) *ensemble.Dataset {
+	d := ensemble.NewDataset(nil)
+	for _, ev := range events {
+		if ev.Bytes <= 0 || ev.Dur <= 0 {
+			continue
+		}
+		if filter == nil || filter(ev) {
+			d.Add(float64(ev.Dur) / (float64(ev.Bytes) / 1e6))
+		}
+	}
+	return d
+}
+
+// IsOp returns a filter selecting one op type.
+func IsOp(op ipmio.Op) func(ipmio.Event) bool {
+	return func(e ipmio.Event) bool { return e.Op == op }
+}

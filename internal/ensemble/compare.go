@@ -1,0 +1,135 @@
+package ensemble
+
+import "math"
+
+// ECDF is the empirical cumulative distribution of a dataset.
+type ECDF struct {
+	xs []float64 // sorted
+}
+
+// ECDF returns the dataset's empirical CDF.
+func (d *Dataset) ECDF() *ECDF { return &ECDF{xs: d.Sorted()} }
+
+// Eval returns F(x): the fraction of observations <= x.
+func (e *ECDF) Eval(x float64) float64 {
+	lo, hi := 0, len(e.xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.xs[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return float64(lo) / float64(len(e.xs))
+}
+
+// Len reports the sample size.
+func (e *ECDF) Len() int { return len(e.xs) }
+
+// KS returns the two-sample Kolmogorov-Smirnov statistic
+// sup |F_a - F_b|. Zero means identical empirical distributions; the
+// paper's reproducibility claim is that KS between runs of the same
+// experiment stays small even when the traces differ completely.
+func KS(a, b *Dataset) float64 {
+	xa, xb := a.Sorted(), b.Sorted()
+	na, nb := len(xa), len(xb)
+	if na == 0 || nb == 0 {
+		return math.NaN()
+	}
+	i, j := 0, 0
+	d := 0.0
+	for i < na && j < nb {
+		x := xa[i]
+		if xb[j] < x {
+			x = xb[j]
+		}
+		for i < na && xa[i] <= x {
+			i++
+		}
+		for j < nb && xb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Wasserstein returns the 1-Wasserstein (earth mover's) distance
+// between the two empirical distributions: the integral of
+// |F_a - F_b| over the real line.
+func Wasserstein(a, b *Dataset) float64 {
+	xa, xb := a.Sorted(), b.Sorted()
+	na, nb := len(xa), len(xb)
+	if na == 0 || nb == 0 {
+		return math.NaN()
+	}
+	// Merge the support points and integrate the CDF gap.
+	i, j := 0, 0
+	var prev float64
+	first := true
+	total := 0.0
+	for i < na || j < nb {
+		var x float64
+		switch {
+		case i >= na:
+			x = xb[j]
+		case j >= nb:
+			x = xa[i]
+		case xa[i] <= xb[j]:
+			x = xa[i]
+		default:
+			x = xb[j]
+		}
+		if !first {
+			fa := float64(i) / float64(na)
+			fb := float64(j) / float64(nb)
+			total += math.Abs(fa-fb) * (x - prev)
+		}
+		first = false
+		prev = x
+		for i < na && xa[i] <= x {
+			i++
+		}
+		for j < nb && xb[j] <= x {
+			j++
+		}
+	}
+	return total
+}
+
+// GaussianKS returns the Kolmogorov distance between the sample and a
+// Gaussian fitted by moments — a normality score. Smaller is more
+// Gaussian; the Figure 2 distributions become "progressively narrower
+// and more Gaussian" as k grows, i.e. this statistic falls.
+func GaussianKS(d *Dataset) float64 {
+	xs := d.Sorted()
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	mu, sigma := d.Mean(), d.Std()
+	if sigma == 0 {
+		return 0
+	}
+	maxd := 0.0
+	for i, x := range xs {
+		F := stdNormalCDF((x - mu) / sigma)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(F - lo); diff > maxd {
+			maxd = diff
+		}
+		if diff := math.Abs(F - hi); diff > maxd {
+			maxd = diff
+		}
+	}
+	return maxd
+}
+
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,127 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ensembleio/internal/sim"
+)
+
+func normalDataset(seed int64, n int, mu, sigma float64) *Dataset {
+	g := sim.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Normal(mu, sigma)
+	}
+	return NewDataset(xs)
+}
+
+func TestECDFEval(t *testing.T) {
+	d := NewDataset([]float64{1, 2, 3, 4})
+	e := d.ECDF()
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := e.Eval(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("F(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestKSIdenticalIsZero(t *testing.T) {
+	d := normalDataset(1, 1000, 5, 2)
+	if ks := KS(d, d); ks != 0 {
+		t.Errorf("KS(d,d) = %v, want 0", ks)
+	}
+}
+
+func TestKSSameDistributionSmallDifferentLarge(t *testing.T) {
+	a := normalDataset(1, 5000, 5, 2)
+	b := normalDataset(2, 5000, 5, 2)
+	c := normalDataset(3, 5000, 9, 2)
+	same := KS(a, b)
+	diff := KS(a, c)
+	if same > 0.05 {
+		t.Errorf("KS between same-distribution samples %v, want small", same)
+	}
+	if diff < 0.5 {
+		t.Errorf("KS between shifted distributions %v, want large", diff)
+	}
+}
+
+func TestWassersteinShiftEqualsDelta(t *testing.T) {
+	a := normalDataset(4, 20000, 0, 1)
+	shifted := NewDataset(nil)
+	for _, x := range a.Values() {
+		shifted.Add(x + 3)
+	}
+	w := Wasserstein(a, shifted)
+	if math.Abs(w-3) > 0.05 {
+		t.Errorf("Wasserstein of 3-shift = %v, want ~3", w)
+	}
+}
+
+func TestWassersteinSymmetric(t *testing.T) {
+	a := normalDataset(5, 3000, 0, 1)
+	b := normalDataset(6, 2500, 1, 2)
+	if !almostEq(Wasserstein(a, b), Wasserstein(b, a), 1e-9) {
+		t.Error("Wasserstein not symmetric")
+	}
+}
+
+func TestGaussianKSDiscriminates(t *testing.T) {
+	gauss := normalDataset(7, 10000, 10, 2)
+	g := sim.NewRNG(8)
+	bimodal := NewDataset(nil)
+	for i := 0; i < 10000; i++ {
+		if g.Bernoulli(0.5) {
+			bimodal.Add(g.Normal(5, 0.5))
+		} else {
+			bimodal.Add(g.Normal(15, 0.5))
+		}
+	}
+	kg, kb := GaussianKS(gauss), GaussianKS(bimodal)
+	if kg > 0.02 {
+		t.Errorf("GaussianKS of a Gaussian sample = %v, want < 0.02", kg)
+	}
+	if kb < 0.1 {
+		t.Errorf("GaussianKS of a bimodal sample = %v, want > 0.1", kb)
+	}
+	if kb <= kg {
+		t.Error("normality score failed to discriminate")
+	}
+}
+
+// Properties: KS in [0,1]; KS symmetric; Wasserstein >= 0 and zero on
+// identical samples.
+func TestCompareProperties(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		if len(rawA) == 0 || len(rawB) == 0 {
+			return true
+		}
+		mk := func(raw []uint8) *Dataset {
+			xs := make([]float64, len(raw))
+			for i, r := range raw {
+				xs[i] = float64(r)
+			}
+			return NewDataset(xs)
+		}
+		a, b := mk(rawA), mk(rawB)
+		ks := KS(a, b)
+		if ks < 0 || ks > 1 {
+			return false
+		}
+		if !almostEq(ks, KS(b, a), 1e-12) {
+			return false
+		}
+		if Wasserstein(a, b) < 0 {
+			return false
+		}
+		return almostEq(Wasserstein(a, a), 0, 1e-12) && KS(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package ensemble is the statistical core of the methodology: it
+// turns populations of per-event I/O measurements into the
+// reproducible objects the paper analyses — histograms (linear, log,
+// and rate-normalized), distribution moments, mode structure, order
+// statistics for slowest-of-N phase behaviour, Law-of-Large-Numbers
+// convolution predictions for transfer splitting, and two-sample
+// distances for run-to-run reproducibility checks.
+//
+// The transition the paper advocates — from individual performance
+// events to performance ensembles — is exactly the transition from a
+// trace to a Dataset.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dataset is an ensemble of scalar observations (typically I/O call
+// durations in seconds, or size-normalized rates).
+type Dataset struct {
+	xs     []float64
+	sorted []float64 // lazily computed
+}
+
+// NewDataset wraps the observations. The slice is not copied; callers
+// must not mutate it afterwards.
+func NewDataset(xs []float64) *Dataset { return &Dataset{xs: xs} }
+
+// Add appends one observation.
+func (d *Dataset) Add(x float64) {
+	d.xs = append(d.xs, x)
+	d.sorted = nil
+}
+
+// Values returns the raw observations (not a copy).
+func (d *Dataset) Values() []float64 { return d.xs }
+
+// Len reports the number of observations.
+func (d *Dataset) Len() int { return len(d.xs) }
+
+// Sorted returns the observations in ascending order (cached).
+func (d *Dataset) Sorted() []float64 {
+	if d.sorted == nil {
+		d.sorted = append([]float64(nil), d.xs...)
+		sort.Float64s(d.sorted)
+	}
+	return d.sorted
+}
+
+// Min returns the smallest observation (NaN when empty).
+func (d *Dataset) Min() float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	return d.Sorted()[0]
+}
+
+// Max returns the largest observation — the Nth order statistic that
+// dominates barrier-synchronized phase time (NaN when empty).
+func (d *Dataset) Max() float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	return d.Sorted()[len(d.xs)-1]
+}
+
+// Mean returns the sample mean (NaN when empty).
+func (d *Dataset) Mean() float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range d.xs {
+		s += x
+	}
+	return s / float64(len(d.xs))
+}
+
+// Sum returns the total of all observations.
+func (d *Dataset) Sum() float64 {
+	s := 0.0
+	for _, x := range d.xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance (NaN for < 2 obs).
+func (d *Dataset) Variance() float64 {
+	n := len(d.xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := d.Mean()
+	s := 0.0
+	for _, x := range d.xs {
+		dx := x - m
+		s += dx * dx
+	}
+	return s / float64(n-1)
+}
+
+// Std returns the sample standard deviation.
+func (d *Dataset) Std() float64 { return math.Sqrt(d.Variance()) }
+
+// CV returns the coefficient of variation std/mean — the paper's
+// "narrowing" of distributions under transfer splitting is a falling
+// CV.
+func (d *Dataset) CV() float64 { return d.Std() / d.Mean() }
+
+// Skewness returns the adjusted Fisher-Pearson sample skewness.
+func (d *Dataset) Skewness() float64 {
+	n := float64(len(d.xs))
+	if n < 3 {
+		return math.NaN()
+	}
+	m := d.Mean()
+	s2, s3 := 0.0, 0.0
+	for _, x := range d.xs {
+		dx := x - m
+		s2 += dx * dx
+		s3 += dx * dx * dx
+	}
+	s2 /= n
+	s3 /= n
+	if s2 == 0 {
+		return 0
+	}
+	g1 := s3 / math.Pow(s2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// Kurtosis returns the excess sample kurtosis (0 for a Gaussian).
+func (d *Dataset) Kurtosis() float64 {
+	n := float64(len(d.xs))
+	if n < 4 {
+		return math.NaN()
+	}
+	m := d.Mean()
+	s2, s4 := 0.0, 0.0
+	for _, x := range d.xs {
+		dx := x - m
+		s2 += dx * dx
+		s4 += dx * dx * dx * dx
+	}
+	s2 /= n
+	s4 /= n
+	if s2 == 0 {
+		return 0
+	}
+	return s4/(s2*s2) - 3
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) by linear
+// interpolation of the order statistics.
+func (d *Dataset) Quantile(p float64) float64 {
+	s := d.Sorted()
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return s[n-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Moments bundles the ensemble's moment summary.
+type Moments struct {
+	N        int
+	Mean     float64
+	Std      float64
+	CV       float64
+	Skewness float64
+	Kurtosis float64
+	Min      float64
+	Median   float64
+	P95      float64
+	P99      float64
+	Max      float64
+}
+
+// Moments computes the full moment summary.
+func (d *Dataset) Moments() Moments {
+	return Moments{
+		N:        d.Len(),
+		Mean:     d.Mean(),
+		Std:      d.Std(),
+		CV:       d.CV(),
+		Skewness: d.Skewness(),
+		Kurtosis: d.Kurtosis(),
+		Min:      d.Min(),
+		Median:   d.Quantile(0.5),
+		P95:      d.Quantile(0.95),
+		P99:      d.Quantile(0.99),
+		Max:      d.Max(),
+	}
+}
+
+// String renders the moment summary on one line.
+func (m Moments) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g cv=%.3f skew=%.3f kurt=%.3f min=%.4g med=%.4g p95=%.4g p99=%.4g max=%.4g",
+		m.N, m.Mean, m.Std, m.CV, m.Skewness, m.Kurtosis, m.Min, m.Median, m.P95, m.P99, m.Max)
+}

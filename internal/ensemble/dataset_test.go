@@ -1,0 +1,128 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ensembleio/internal/sim"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMomentsKnownValues(t *testing.T) {
+	d := NewDataset([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m := d.Mean(); !almostEq(m, 5, 1e-12) {
+		t.Errorf("mean %v, want 5", m)
+	}
+	// Unbiased variance of this classic sample: 32/7.
+	if v := d.Variance(); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Errorf("variance %v, want %v", v, 32.0/7.0)
+	}
+	if mn, mx := d.Min(), d.Max(); mn != 2 || mx != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", mn, mx)
+	}
+	if md := d.Quantile(0.5); !almostEq(md, 4.5, 1e-12) {
+		t.Errorf("median %v, want 4.5", md)
+	}
+}
+
+func TestEmptyDatasetIsNaN(t *testing.T) {
+	d := NewDataset(nil)
+	for name, v := range map[string]float64{
+		"mean": d.Mean(), "min": d.Min(), "max": d.Max(), "q": d.Quantile(0.5),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty dataset = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	right := NewDataset([]float64{1, 1, 1, 1, 2, 2, 3, 10})
+	if s := right.Skewness(); s <= 0 {
+		t.Errorf("right-tailed skewness %v, want > 0", s)
+	}
+	left := NewDataset([]float64{-10, -3, -2, -2, -1, -1, -1, -1})
+	if s := left.Skewness(); s >= 0 {
+		t.Errorf("left-tailed skewness %v, want < 0", s)
+	}
+}
+
+func TestKurtosisGaussianNearZero(t *testing.T) {
+	g := sim.NewRNG(1)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = g.Normal(0, 1)
+	}
+	d := NewDataset(xs)
+	if k := d.Kurtosis(); math.Abs(k) > 0.15 {
+		t.Errorf("Gaussian excess kurtosis %v, want ~0", k)
+	}
+	if s := d.Skewness(); math.Abs(s) > 0.1 {
+		t.Errorf("Gaussian skewness %v, want ~0", s)
+	}
+}
+
+func TestQuantileEndpointsAndMonotone(t *testing.T) {
+	d := NewDataset([]float64{5, 1, 3, 2, 4})
+	if q := d.Quantile(0); q != 1 {
+		t.Errorf("Q(0) = %v, want 1", q)
+	}
+	if q := d.Quantile(1); q != 5 {
+		t.Errorf("Q(1) = %v, want 5", q)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := d.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%v", p)
+		}
+		prev = q
+	}
+}
+
+func TestAddInvalidatesSortCache(t *testing.T) {
+	d := NewDataset([]float64{3, 1})
+	if d.Max() != 3 {
+		t.Fatal("bad max")
+	}
+	d.Add(10)
+	if d.Max() != 10 {
+		t.Error("Add did not invalidate the sorted cache")
+	}
+}
+
+// Properties: mean within [min,max]; variance non-negative; CV of a
+// scaled dataset is scale-invariant.
+func TestMomentProperties(t *testing.T) {
+	f := func(raw []uint16, scale uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		d := NewDataset(xs)
+		if d.Variance() < 0 {
+			return false
+		}
+		if d.Mean() < d.Min()-1e-9 || d.Mean() > d.Max()+1e-9 {
+			return false
+		}
+		k := float64(scale%7) + 2
+		ys := make([]float64, len(xs))
+		for i := range xs {
+			ys[i] = xs[i] * k
+		}
+		d2 := NewDataset(ys)
+		if d.Std() == 0 {
+			return true
+		}
+		return almostEq(d.CV(), d2.CV(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bins defines a binning by its edges: bin i covers
+// [edges[i], edges[i+1]). Values below edges[0] count as underflow,
+// values at or above the last edge as overflow.
+type Bins struct {
+	Edges []float64
+	// Log marks logarithmic binning (affects density normalization
+	// presentation only; the edges already encode the geometry).
+	Log bool
+}
+
+// LinearBins returns n equal-width bins spanning [lo, hi).
+func LinearBins(lo, hi float64, n int) Bins {
+	if n <= 0 || hi <= lo {
+		panic("ensemble: bad linear binning")
+	}
+	edges := make([]float64, n+1)
+	w := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	edges[n] = hi
+	return Bins{Edges: edges}
+}
+
+// LogBins returns logarithmically spaced bins from lo to hi with
+// perDecade bins per factor of ten. This is the binning of the
+// paper's log-log histograms (Figures 4c, 4f, 6c...), which make the
+// slowest modes visible.
+func LogBins(lo, hi float64, perDecade int) Bins {
+	if lo <= 0 || hi <= lo || perDecade <= 0 {
+		panic("ensemble: bad log binning")
+	}
+	n := int(math.Ceil(math.Log10(hi/lo) * float64(perDecade)))
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo * math.Pow(10, float64(i)/float64(perDecade))
+	}
+	return Bins{Edges: edges, Log: true}
+}
+
+// N reports the number of bins.
+func (b Bins) N() int { return len(b.Edges) - 1 }
+
+// Width returns the width of bin i.
+func (b Bins) Width(i int) float64 { return b.Edges[i+1] - b.Edges[i] }
+
+// Center returns the representative value of bin i (geometric mean
+// for log bins, midpoint otherwise).
+func (b Bins) Center(i int) float64 {
+	if b.Log {
+		return math.Sqrt(b.Edges[i] * b.Edges[i+1])
+	}
+	return (b.Edges[i] + b.Edges[i+1]) / 2
+}
+
+// Find returns the bin index for x, or -1 (underflow) / N() (overflow).
+func (b Bins) Find(x float64) int {
+	if x < b.Edges[0] {
+		return -1
+	}
+	if x >= b.Edges[len(b.Edges)-1] {
+		return b.N()
+	}
+	// Binary search over edges.
+	lo, hi := 0, len(b.Edges)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if x < b.Edges[mid] {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// Histogram is a streaming-capable binned distribution. It is the
+// profiling-mode data structure: events can be folded in online
+// without retaining the trace.
+type Histogram struct {
+	Bins      Bins
+	counts    []float64
+	total     float64
+	underflow float64
+	overflow  float64
+}
+
+// NewHistogram returns an empty histogram over the binning.
+func NewHistogram(b Bins) *Histogram {
+	return &Histogram{Bins: b, counts: make([]float64, b.N())}
+}
+
+// Add folds in one observation with weight 1.
+func (h *Histogram) Add(x float64) { h.AddW(x, 1) }
+
+// AddW folds in one observation with the given weight.
+func (h *Histogram) AddW(x, w float64) {
+	i := h.Bins.Find(x)
+	switch {
+	case i < 0:
+		h.underflow += w
+	case i >= h.Bins.N():
+		h.overflow += w
+	default:
+		h.counts[i] += w
+	}
+	h.total += w
+}
+
+// AddAll folds in a dataset.
+func (h *Histogram) AddAll(d *Dataset) {
+	for _, x := range d.Values() {
+		h.Add(x)
+	}
+}
+
+// Merge adds another histogram with identical binning.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.counts) != len(o.counts) {
+		panic("ensemble: merging histograms with different binnings")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.underflow += o.underflow
+	h.overflow += o.overflow
+	h.total += o.total
+}
+
+// Counts returns the per-bin counts (not a copy).
+func (h *Histogram) Counts() []float64 { return h.counts }
+
+// Total returns the total folded weight including under/overflow.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Underflow and Overflow report out-of-range weight.
+func (h *Histogram) Underflow() float64 { return h.underflow }
+func (h *Histogram) Overflow() float64  { return h.overflow }
+
+// PDF returns the density estimate: count / (total * binWidth).
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = c / (h.total * h.Bins.Width(i))
+	}
+	return out
+}
+
+// CDF returns the cumulative distribution evaluated at each bin's
+// upper edge (underflow included, overflow excluded until the end).
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	run := h.underflow
+	for i, c := range h.counts {
+		run += c
+		out[i] = run / h.total
+	}
+	return out
+}
+
+// Mean estimates the distribution mean from bin centers.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	inRange := h.total - h.underflow - h.overflow
+	if inRange == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i, c := range h.counts {
+		s += c * h.Bins.Center(i)
+	}
+	return s / inRange
+}
+
+// Variance estimates the distribution variance from bin centers.
+func (h *Histogram) Variance() float64 {
+	inRange := h.total - h.underflow - h.overflow
+	if inRange == 0 {
+		return math.NaN()
+	}
+	m := h.Mean()
+	s := 0.0
+	for i, c := range h.counts {
+		dx := h.Bins.Center(i) - m
+		s += c * dx * dx
+	}
+	return s / inRange
+}
+
+// Std estimates the distribution standard deviation.
+func (h *Histogram) Std() float64 { return math.Sqrt(h.Variance()) }
+
+// Quantile estimates the p-quantile from the binned mass.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := p * h.total
+	run := h.underflow
+	for i, c := range h.counts {
+		if run+c >= target && c > 0 {
+			frac := (target - run) / c
+			return h.Bins.Edges[i] + frac*h.Bins.Width(i)
+		}
+		run += c
+	}
+	return h.Bins.Edges[len(h.Bins.Edges)-1]
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist(bins=%d total=%.0f under=%.0f over=%.0f)",
+		h.Bins.N(), h.total, h.underflow, h.overflow)
+}

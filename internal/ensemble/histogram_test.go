@@ -1,0 +1,168 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ensembleio/internal/sim"
+)
+
+func TestLinearBinsGeometry(t *testing.T) {
+	b := LinearBins(0, 10, 5)
+	if b.N() != 5 {
+		t.Fatalf("N = %d, want 5", b.N())
+	}
+	if b.Width(0) != 2 || b.Center(0) != 1 || b.Center(4) != 9 {
+		t.Errorf("geometry wrong: w0=%v c0=%v c4=%v", b.Width(0), b.Center(0), b.Center(4))
+	}
+}
+
+func TestLogBinsGeometry(t *testing.T) {
+	b := LogBins(0.001, 1000, 4) // 6 decades x 4
+	if b.N() != 24 {
+		t.Fatalf("N = %d, want 24", b.N())
+	}
+	// Ratio between consecutive edges is constant.
+	r := b.Edges[1] / b.Edges[0]
+	for i := 1; i < b.N(); i++ {
+		if !almostEq(b.Edges[i+1]/b.Edges[i], r, 1e-9) {
+			t.Fatalf("edge ratio not constant at %d", i)
+		}
+	}
+	if !almostEq(b.Center(0), math.Sqrt(b.Edges[0]*b.Edges[1]), 1e-12) {
+		t.Error("log bin center is not the geometric mean")
+	}
+}
+
+func TestFindEdgesAndOutOfRange(t *testing.T) {
+	b := LinearBins(0, 10, 5)
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-0.1, -1}, {0, 0}, {1.99, 0}, {2, 1}, {9.99, 4}, {10, 5}, {11, 5},
+	}
+	for _, tc := range cases {
+		if got := b.Find(tc.x); got != tc.want {
+			t.Errorf("Find(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramAddAndOverflow(t *testing.T) {
+	h := NewHistogram(LinearBins(0, 10, 5))
+	for _, x := range []float64{1, 3, 3, 5, 42, -1} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total %v, want 6", h.Total())
+	}
+	if h.Overflow() != 1 || h.Underflow() != 1 {
+		t.Errorf("overflow/underflow = %v/%v, want 1/1", h.Overflow(), h.Underflow())
+	}
+	if h.Counts()[1] != 2 {
+		t.Errorf("bin1 count %v, want 2 (two 3s)", h.Counts()[1])
+	}
+}
+
+func TestPDFIntegratesToInRangeMass(t *testing.T) {
+	g := sim.NewRNG(2)
+	h := NewHistogram(LinearBins(0, 1, 50))
+	n := 10000
+	for i := 0; i < n; i++ {
+		h.Add(g.Float64())
+	}
+	pdf := h.PDF()
+	integral := 0.0
+	for i, p := range pdf {
+		integral += p * h.Bins.Width(i)
+	}
+	if !almostEq(integral, 1, 1e-9) {
+		t.Errorf("PDF integral %v, want 1", integral)
+	}
+}
+
+func TestCDFMonotoneEndsAtOne(t *testing.T) {
+	g := sim.NewRNG(3)
+	h := NewHistogram(LinearBins(0, 1, 20))
+	for i := 0; i < 5000; i++ {
+		h.Add(g.Float64())
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for i, c := range cdf {
+		if c < prev {
+			t.Fatalf("CDF not monotone at bin %d", i)
+		}
+		prev = c
+	}
+	if !almostEq(cdf[len(cdf)-1], 1, 1e-9) {
+		t.Errorf("CDF end %v, want 1", cdf[len(cdf)-1])
+	}
+}
+
+func TestHistogramMeanMatchesSample(t *testing.T) {
+	g := sim.NewRNG(4)
+	h := NewHistogram(LinearBins(0, 2, 200))
+	d := NewDataset(nil)
+	for i := 0; i < 20000; i++ {
+		x := g.Uniform(0.2, 1.8)
+		h.Add(x)
+		d.Add(x)
+	}
+	if !almostEq(h.Mean(), d.Mean(), 0.01) {
+		t.Errorf("hist mean %v vs sample mean %v", h.Mean(), d.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LinearBins(0, 100, 100))
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Errorf("median %v, want ~50", q)
+	}
+	if q := h.Quantile(0.9); math.Abs(q-90) > 1.5 {
+		t.Errorf("P90 %v, want ~90", q)
+	}
+}
+
+func TestMergeAddsCounts(t *testing.T) {
+	a := NewHistogram(LinearBins(0, 10, 5))
+	b := NewHistogram(LinearBins(0, 10, 5))
+	a.Add(1)
+	b.Add(1)
+	b.Add(9)
+	b.Add(99) // overflow
+	a.Merge(b)
+	if a.Total() != 4 || a.Counts()[0] != 2 || a.Overflow() != 1 {
+		t.Errorf("merge wrong: total=%v c0=%v over=%v", a.Total(), a.Counts()[0], a.Overflow())
+	}
+}
+
+func TestMergeBinningMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(LinearBins(0, 10, 5)).Merge(NewHistogram(LinearBins(0, 10, 6)))
+}
+
+// Property: Find returns the bin whose edges bracket the value.
+func TestFindProperty(t *testing.T) {
+	b := LogBins(0.01, 100, 7)
+	f := func(raw uint16) bool {
+		x := 0.01 + float64(raw)/655.36 // 0.01 .. ~100
+		i := b.Find(x)
+		if i < 0 || i >= b.N() {
+			return x < b.Edges[0] || x >= b.Edges[len(b.Edges)-1]
+		}
+		return b.Edges[i] <= x && x < b.Edges[i+1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

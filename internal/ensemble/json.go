@@ -1,0 +1,58 @@
+package ensemble
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding for histograms: the paper's conclusion argues that it
+// is usually unnecessary to store the bulk of the performance data —
+// "just enough to define the distribution". A serialized histogram is
+// that minimal artifact: bin edges, counts, and out-of-range mass.
+
+type histJSON struct {
+	Edges     []float64 `json:"edges"`
+	Log       bool      `json:"log,omitempty"`
+	Counts    []float64 `json:"counts"`
+	Underflow float64   `json:"underflow,omitempty"`
+	Overflow  float64   `json:"overflow,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histJSON{
+		Edges:     h.Bins.Edges,
+		Log:       h.Bins.Log,
+		Counts:    h.counts,
+		Underflow: h.underflow,
+		Overflow:  h.overflow,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var raw histJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if len(raw.Edges) < 2 {
+		return fmt.Errorf("ensemble: histogram needs at least 2 bin edges, got %d", len(raw.Edges))
+	}
+	if len(raw.Counts) != len(raw.Edges)-1 {
+		return fmt.Errorf("ensemble: %d counts for %d bins", len(raw.Counts), len(raw.Edges)-1)
+	}
+	for i := 1; i < len(raw.Edges); i++ {
+		if raw.Edges[i] <= raw.Edges[i-1] {
+			return fmt.Errorf("ensemble: bin edges not increasing at %d", i)
+		}
+	}
+	h.Bins = Bins{Edges: raw.Edges, Log: raw.Log}
+	h.counts = raw.Counts
+	h.underflow = raw.Underflow
+	h.overflow = raw.Overflow
+	h.total = raw.Underflow + raw.Overflow
+	for _, c := range raw.Counts {
+		h.total += c
+	}
+	return nil
+}

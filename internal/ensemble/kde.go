@@ -1,0 +1,104 @@
+package ensemble
+
+import "math"
+
+// Kernel density estimation: a smooth alternative to histogram
+// binning for locating modes. Bin-width choices can split or merge
+// the paper's harmonic peaks; a Gaussian KDE with Silverman's
+// bandwidth gives a binning-free second opinion, and the two mode
+// lists cross-validate each other.
+
+// KDE is a Gaussian kernel density estimate over a dataset.
+type KDE struct {
+	xs        []float64 // sorted observations
+	Bandwidth float64
+}
+
+// NewKDE builds the estimate. A bandwidth of 0 selects Silverman's
+// rule of thumb: 0.9 * min(std, IQR/1.34) * n^(-1/5).
+func NewKDE(d *Dataset, bandwidth float64) *KDE {
+	xs := d.Sorted()
+	if bandwidth <= 0 && len(xs) > 1 {
+		iqr := d.Quantile(0.75) - d.Quantile(0.25)
+		scale := d.Std()
+		if iqr > 0 && iqr/1.34 < scale {
+			scale = iqr / 1.34
+		}
+		bandwidth = 0.9 * scale * math.Pow(float64(len(xs)), -0.2)
+	}
+	if bandwidth <= 0 {
+		bandwidth = 1
+	}
+	return &KDE{xs: xs, Bandwidth: bandwidth}
+}
+
+// Eval returns the density estimate at x. Observations beyond five
+// bandwidths contribute negligibly and are skipped via binary search.
+func (k *KDE) Eval(x float64) float64 {
+	n := len(k.xs)
+	if n == 0 {
+		return 0
+	}
+	lo := searchFloat(k.xs, x-5*k.Bandwidth)
+	hi := searchFloat(k.xs, x+5*k.Bandwidth)
+	sum := 0.0
+	inv := 1 / k.Bandwidth
+	for _, xi := range k.xs[lo:hi] {
+		z := (x - xi) * inv
+		sum += math.Exp(-0.5 * z * z)
+	}
+	return sum * inv / (float64(n) * math.Sqrt(2*math.Pi))
+}
+
+// searchFloat returns the first index with xs[i] >= v.
+func searchFloat(xs []float64, v float64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Modes locates the local maxima of the density on a grid of the
+// given resolution over the data range, discarding peaks below
+// minDensity times the global maximum. Results are strongest first.
+func (k *KDE) Modes(gridPoints int, minDensity float64) []Mode {
+	if len(k.xs) == 0 || gridPoints < 3 {
+		return nil
+	}
+	lo := k.xs[0] - 2*k.Bandwidth
+	hi := k.xs[len(k.xs)-1] + 2*k.Bandwidth
+	step := (hi - lo) / float64(gridPoints-1)
+	dens := make([]float64, gridPoints)
+	peakMax := 0.0
+	for i := range dens {
+		dens[i] = k.Eval(lo + float64(i)*step)
+		if dens[i] > peakMax {
+			peakMax = dens[i]
+		}
+	}
+	var modes []Mode
+	for i := 1; i < gridPoints-1; i++ {
+		if dens[i] >= dens[i-1] && dens[i] > dens[i+1] && dens[i] >= minDensity*peakMax {
+			modes = append(modes, Mode{
+				Center:     lo + float64(i)*step,
+				Height:     dens[i],
+				Prominence: dens[i] / peakMax,
+			})
+		}
+	}
+	// Strongest first.
+	for i := 0; i < len(modes); i++ {
+		for j := i + 1; j < len(modes); j++ {
+			if modes[j].Height > modes[i].Height {
+				modes[i], modes[j] = modes[j], modes[i]
+			}
+		}
+	}
+	return modes
+}

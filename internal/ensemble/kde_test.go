@@ -1,0 +1,105 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	g := sim.NewRNG(41)
+	d := NewDataset(nil)
+	for i := 0; i < 5000; i++ {
+		d.Add(g.Normal(10, 2))
+	}
+	k := NewKDE(d, 0)
+	integral := 0.0
+	for x := 0.0; x < 20; x += 0.05 {
+		integral += k.Eval(x) * 0.05
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("KDE integral %v, want ~1", integral)
+	}
+}
+
+func TestKDEPeaksAtTrueMean(t *testing.T) {
+	g := sim.NewRNG(42)
+	d := NewDataset(nil)
+	for i := 0; i < 5000; i++ {
+		d.Add(g.Normal(7, 1))
+	}
+	k := NewKDE(d, 0)
+	modes := k.Modes(400, 0.2)
+	if len(modes) != 1 {
+		t.Fatalf("%d modes, want 1", len(modes))
+	}
+	if math.Abs(modes[0].Center-7) > 0.3 {
+		t.Errorf("mode at %v, want ~7", modes[0].Center)
+	}
+}
+
+func TestKDEFindsHarmonicModes(t *testing.T) {
+	g := sim.NewRNG(43)
+	d := NewDataset(nil)
+	for i := 0; i < 20000; i++ {
+		switch {
+		case g.Bernoulli(0.45):
+			d.Add(g.Normal(32, 1.2))
+		case g.Bernoulli(0.5):
+			d.Add(g.Normal(16, 1.0))
+		default:
+			d.Add(g.Normal(8, 0.8))
+		}
+	}
+	modes := NewKDE(d, 0).Modes(600, 0.1)
+	if len(modes) != 3 {
+		t.Fatalf("%d modes, want 3: %+v", len(modes), modes)
+	}
+	// Cross-validate: the histogram route agrees with the KDE route.
+	h := NewHistogram(LinearBins(0, d.Max()*1.01, 100))
+	h.AddAll(d)
+	hModes := h.Modes(ModeOpts{})
+	if len(hModes) != 3 {
+		t.Fatalf("histogram route found %d modes, want 3", len(hModes))
+	}
+	for _, km := range modes {
+		matched := false
+		for _, hm := range hModes {
+			if math.Abs(km.Center-hm.Center) < 2 {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("KDE mode at %v has no histogram counterpart %+v", km.Center, hModes)
+		}
+	}
+	// Strongest first.
+	for i := 1; i < len(modes); i++ {
+		if modes[i].Height > modes[i-1].Height {
+			t.Fatal("modes not sorted by height")
+		}
+	}
+}
+
+func TestKDEBandwidthOverride(t *testing.T) {
+	d := NewDataset([]float64{1, 2, 3})
+	k := NewKDE(d, 0.5)
+	if k.Bandwidth != 0.5 {
+		t.Errorf("bandwidth %v, want 0.5", k.Bandwidth)
+	}
+	// Huge bandwidth merges everything into one mode.
+	if m := NewKDE(d, 10).Modes(200, 0.5); len(m) != 1 {
+		t.Errorf("oversmoothed KDE has %d modes, want 1", len(m))
+	}
+}
+
+func TestKDEEmpty(t *testing.T) {
+	k := NewKDE(NewDataset(nil), 0)
+	if k.Eval(1) != 0 {
+		t.Error("empty KDE density non-zero")
+	}
+	if k.Modes(100, 0.1) != nil {
+		t.Error("empty KDE produced modes")
+	}
+}

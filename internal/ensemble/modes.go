@@ -1,0 +1,169 @@
+package ensemble
+
+import "sort"
+
+// Mode is one detected peak of a histogram: a distinct mode of I/O
+// behaviour (e.g. the fair-share rate R and its harmonics in Fig 1c).
+type Mode struct {
+	// Center is the representative value of the peak bin.
+	Center float64
+	// Height is the peak's smoothed count.
+	Height float64
+	// Mass is the fraction of total weight attributed to the peak's
+	// basin (between the surrounding minima).
+	Mass float64
+	// Prominence is the peak height minus the higher of the two
+	// bounding saddle points, as a fraction of the tallest peak.
+	Prominence float64
+	// Bin is the peak's bin index.
+	Bin int
+}
+
+// ModeOpts tunes peak detection.
+type ModeOpts struct {
+	// SmoothRadius is the moving-average half-width in bins
+	// (default 1).
+	SmoothRadius int
+	// MinProminence discards peaks whose prominence is below this
+	// fraction of the tallest peak's height (default 0.05).
+	MinProminence float64
+	// MinMass discards peaks whose basin carries less than this
+	// fraction of total weight (default 0.01).
+	MinMass float64
+	// MaxModes caps the number of returned modes (0 = no cap).
+	MaxModes int
+}
+
+func (o *ModeOpts) defaults() {
+	if o.SmoothRadius == 0 {
+		o.SmoothRadius = 1
+	}
+	if o.MinProminence == 0 {
+		o.MinProminence = 0.05
+	}
+	if o.MinMass == 0 {
+		o.MinMass = 0.01
+	}
+}
+
+// Modes detects the peaks of the histogram, strongest first.
+func (h *Histogram) Modes(opts ModeOpts) []Mode {
+	opts.defaults()
+	n := h.Bins.N()
+	if n == 0 || h.total == 0 {
+		return nil
+	}
+	s := smooth(h.counts, opts.SmoothRadius)
+
+	// Local maxima (plateau-tolerant: first bin of a plateau wins).
+	var peaks []int
+	for i := 0; i < n; i++ {
+		leftLower := i == 0 || s[i-1] < s[i]
+		rightNotHigher := true
+		for j := i + 1; j < n; j++ {
+			if s[j] > s[i] {
+				rightNotHigher = false
+				break
+			}
+			if s[j] < s[i] {
+				break
+			}
+		}
+		if leftLower && rightNotHigher && s[i] > 0 {
+			peaks = append(peaks, i)
+		}
+	}
+	if len(peaks) == 0 {
+		return nil
+	}
+
+	tallest := 0.0
+	for _, p := range peaks {
+		if s[p] > tallest {
+			tallest = s[p]
+		}
+	}
+
+	var modes []Mode
+	for _, p := range peaks {
+		// Basin: walk to the bounding minima.
+		lo := p
+		for lo > 0 && s[lo-1] <= s[lo] {
+			lo--
+		}
+		hi := p
+		for hi < n-1 && s[hi+1] <= s[hi] {
+			hi++
+		}
+		// Saddle heights toward higher peaks on each side.
+		leftSaddle := saddle(s, p, -1)
+		rightSaddle := saddle(s, p, +1)
+		base := leftSaddle
+		if rightSaddle > base {
+			base = rightSaddle
+		}
+		prom := (s[p] - base) / tallest
+		mass := 0.0
+		for i := lo; i <= hi; i++ {
+			mass += h.counts[i]
+		}
+		mass /= h.total
+		if prom < opts.MinProminence || mass < opts.MinMass {
+			continue
+		}
+		modes = append(modes, Mode{
+			Center:     h.Bins.Center(p),
+			Height:     s[p],
+			Mass:       mass,
+			Prominence: prom,
+			Bin:        p,
+		})
+	}
+	sort.Slice(modes, func(i, j int) bool { return modes[i].Height > modes[j].Height })
+	if opts.MaxModes > 0 && len(modes) > opts.MaxModes {
+		modes = modes[:opts.MaxModes]
+	}
+	return modes
+}
+
+// saddle walks from peak p in direction dir and returns the lowest
+// level crossed before reaching a strictly higher bin (or the boundary,
+// in which case the walk's minimum is returned — the peak is a
+// boundary-dominant one).
+func saddle(s []float64, p, dir int) float64 {
+	min := s[p]
+	for i := p + dir; i >= 0 && i < len(s); i += dir {
+		if s[i] > s[p] {
+			return min
+		}
+		if s[i] < min {
+			min = s[i]
+		}
+	}
+	// No higher peak this way: prominence measured from the walk's
+	// minimum, but a boundary peak should keep full prominence.
+	return min
+}
+
+// smooth applies a moving average of half-width r.
+func smooth(xs []float64, r int) []float64 {
+	if r <= 0 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}

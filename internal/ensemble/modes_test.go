@@ -1,0 +1,109 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+// trimodal builds the Fig-1c-like synthetic: three Gaussian modes at
+// the fair-share time and its half and quarter (harmonics in rate).
+func trimodal(seed int64, n int) *Histogram {
+	g := sim.NewRNG(seed)
+	h := NewHistogram(LinearBins(0, 50, 100))
+	for i := 0; i < n; i++ {
+		var x float64
+		switch {
+		case g.Bernoulli(0.45):
+			x = g.Normal(32, 1.5)
+		case g.Bernoulli(0.5):
+			x = g.Normal(16, 1.2)
+		default:
+			x = g.Normal(8, 1.0)
+		}
+		h.Add(x)
+	}
+	return h
+}
+
+func TestModesFindsThreePeaks(t *testing.T) {
+	h := trimodal(1, 30000)
+	modes := h.Modes(ModeOpts{})
+	if len(modes) != 3 {
+		t.Fatalf("found %d modes, want 3: %+v", len(modes), modes)
+	}
+	centers := []float64{modes[0].Center, modes[1].Center, modes[2].Center}
+	found := func(want float64) bool {
+		for _, c := range centers {
+			if math.Abs(c-want) < 2.5 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []float64{8, 16, 32} {
+		if !found(want) {
+			t.Errorf("no mode near %v; centers = %v", want, centers)
+		}
+	}
+}
+
+func TestModesUnimodal(t *testing.T) {
+	g := sim.NewRNG(2)
+	h := NewHistogram(LinearBins(0, 20, 80))
+	for i := 0; i < 20000; i++ {
+		h.Add(g.Normal(10, 1.5))
+	}
+	modes := h.Modes(ModeOpts{})
+	if len(modes) != 1 {
+		t.Fatalf("found %d modes, want 1", len(modes))
+	}
+	if math.Abs(modes[0].Center-10) > 1 {
+		t.Errorf("mode at %v, want ~10", modes[0].Center)
+	}
+	if modes[0].Mass < 0.9 {
+		t.Errorf("unimodal mass %v, want ~1", modes[0].Mass)
+	}
+}
+
+func TestModesOrderedByHeight(t *testing.T) {
+	h := trimodal(3, 30000)
+	modes := h.Modes(ModeOpts{})
+	for i := 1; i < len(modes); i++ {
+		if modes[i].Height > modes[i-1].Height {
+			t.Fatal("modes not sorted by height")
+		}
+	}
+}
+
+func TestProminenceFilterSuppressesNoisePeaks(t *testing.T) {
+	g := sim.NewRNG(4)
+	h := NewHistogram(LinearBins(0, 20, 200)) // narrow bins: noisy
+	for i := 0; i < 3000; i++ {
+		h.Add(g.Normal(10, 2))
+	}
+	loose := h.Modes(ModeOpts{SmoothRadius: 1, MinProminence: 1e-9, MinMass: 1e-9})
+	strict := h.Modes(ModeOpts{SmoothRadius: 2, MinProminence: 0.2, MinMass: 0.05})
+	if len(strict) > len(loose) {
+		t.Error("stricter options produced more modes")
+	}
+	if len(strict) != 1 {
+		t.Errorf("strict detection found %d modes, want 1", len(strict))
+	}
+}
+
+func TestMaxModesCap(t *testing.T) {
+	h := trimodal(5, 30000)
+	modes := h.Modes(ModeOpts{MaxModes: 2})
+	if len(modes) != 2 {
+		t.Errorf("MaxModes=2 returned %d", len(modes))
+	}
+}
+
+func TestModesEmptyHistogram(t *testing.T) {
+	h := NewHistogram(LinearBins(0, 10, 10))
+	if modes := h.Modes(ModeOpts{}); modes != nil {
+		t.Errorf("empty histogram produced modes: %v", modes)
+	}
+}

@@ -1,0 +1,145 @@
+package ensemble
+
+import "math"
+
+// This file implements §III-A of the paper: the two statistical
+// observations that drive the methodology.
+//
+// Order statistics: for N iid observations with density f and CDF F,
+// the largest observation has density
+//
+//	f_N(t) = N * F(t)^(N-1) * f(t)                          (Eq. 1)
+//
+// Because synchronous phases end when the last task finishes, f_N —
+// not f — governs application-visible performance, and as N grows
+// F^(N-1) picks out the extreme right tail of f.
+//
+// Law of Large Numbers: when a task's transfer is split into k
+// successive calls with iid durations, the total is a sum of k draws;
+// its distribution narrows relative to its mean (CV falls like
+// 1/sqrt(k)), so the slowest task gets faster even though total bytes
+// are unchanged — the Figure 2 effect.
+
+// MaxOrderPDF evaluates f_N over the histogram's bins: the density of
+// the slowest of n draws from the binned distribution. The result is
+// a density aligned with h's bin centers.
+func MaxOrderPDF(h *Histogram, n int) []float64 {
+	cdf := h.CDF()
+	out := make([]float64, h.Bins.N())
+	prev := 0.0
+	for i := range out {
+		// Exact per-bin mass of the maximum: F_hi^n - F_lo^n. This is
+		// the integral of Eq. 1 over the bin, immune to the rapid
+		// variation of F^(n-1) inside a bin at large n.
+		Fn := math.Pow(cdf[i], float64(n))
+		out[i] = (Fn - prev) / h.Bins.Width(i)
+		prev = Fn
+	}
+	return out
+}
+
+// ExpectedMax estimates E[max of n draws] from the binned
+// distribution via E[max] = sum x * d(F^n).
+func ExpectedMax(h *Histogram, n int) float64 {
+	cdf := h.CDF()
+	prev := 0.0
+	s := 0.0
+	for i := range cdf {
+		Fn := math.Pow(cdf[i], float64(n))
+		s += h.Bins.Center(i) * (Fn - prev)
+		prev = Fn
+	}
+	// Any overflow mass is attributed to the top edge.
+	if h.total > 0 && prev < 1 {
+		s += h.Bins.Edges[len(h.Bins.Edges)-1] * (1 - prev)
+	}
+	return s
+}
+
+// ExpectedMaxOfN estimates E[max of n draws] directly from a sample
+// using the empirical CDF: E[max] = sum x_(i) * (F_i^n - F_(i-1)^n).
+func (d *Dataset) ExpectedMaxOfN(n int) float64 {
+	s := d.Sorted()
+	m := len(s)
+	if m == 0 {
+		return math.NaN()
+	}
+	prev := 0.0
+	out := 0.0
+	for i, x := range s {
+		F := float64(i+1) / float64(m)
+		Fn := math.Pow(F, float64(n))
+		out += x * (Fn - prev)
+		prev = Fn
+	}
+	return out
+}
+
+// ConvolveK returns the distribution of the sum of k iid draws from
+// h, computed by repeated discrete convolution of the binned PDF.
+// h must be linearly binned starting at a finite edge; the result has
+// the same bin width spanning k times the range.
+func ConvolveK(h *Histogram, k int) *Histogram {
+	if k < 1 {
+		panic("ensemble: ConvolveK requires k >= 1")
+	}
+	if h.Bins.Log {
+		panic("ensemble: ConvolveK requires linear bins")
+	}
+	n := h.Bins.N()
+	w := h.Bins.Width(0)
+	lo := h.Bins.Edges[0]
+
+	// Probability mass per bin (ignore under/overflow).
+	inRange := h.total - h.underflow - h.overflow
+	base := make([]float64, n)
+	if inRange > 0 {
+		for i, c := range h.counts {
+			base[i] = c / inRange
+		}
+	}
+
+	cur := append([]float64(nil), base...)
+	for step := 1; step < k; step++ {
+		next := make([]float64, len(cur)+n-1)
+		for i, a := range cur {
+			if a == 0 {
+				continue
+			}
+			for j, b := range base {
+				next[i+j] += a * b
+			}
+		}
+		cur = next
+	}
+
+	edges := make([]float64, len(cur)+1)
+	for i := range edges {
+		edges[i] = lo*float64(k) + float64(i)*w
+	}
+	out := NewHistogram(Bins{Edges: edges})
+	for i, p := range cur {
+		out.counts[i] = p
+		out.total += p
+	}
+	return out
+}
+
+// SplitPrediction predicts the effect of splitting one transfer into k
+// equal calls, assuming per-call durations scale like the observed
+// single-call distribution divided by k. It returns the predicted
+// expected slowest-task total (the phase time) for a population of
+// nTasks.
+func SplitPrediction(single *Dataset, k, nTasks int) float64 {
+	if k < 1 || single.Len() == 0 {
+		return math.NaN()
+	}
+	// Build a linear histogram of per-call durations (single / k).
+	max := single.Max()
+	h := NewHistogram(LinearBins(0, max/float64(k)*1.0001+1e-12, 512))
+	for _, x := range single.Values() {
+		h.Add(x / float64(k))
+	}
+	sum := ConvolveK(h, k)
+	return ExpectedMax(sum, nTasks)
+}

@@ -1,0 +1,184 @@
+package ensemble
+
+import (
+	"math"
+	"sort"
+)
+
+// General order statistics beyond the maximum: the k-th smallest of n
+// iid draws has CDF P(X_(k) <= t) = sum_{j=k..n} C(n,j) F^j (1-F)^(n-j),
+// the regularized incomplete beta function I_F(k, n-k+1). These are
+// the curves of Figure 5(a) read the other way: "the fraction of I/Os
+// complete by time t" for a population of n is the expectation of the
+// empirical CDF, and its quantile bands come from order statistics.
+
+// OrderStatCDF returns P(k-th smallest of n draws <= t) given the
+// parent CDF value F = F(t).
+func OrderStatCDF(F float64, k, n int) float64 {
+	if k < 1 || k > n {
+		panic("ensemble: order statistic index out of range")
+	}
+	return betaInc(float64(k), float64(n-k+1), F)
+}
+
+// ExpectedKthOfN estimates E[k-th smallest of n draws] from the sample
+// via the probability-integral transform on the empirical quantile
+// function.
+func (d *Dataset) ExpectedKthOfN(k, n int) float64 {
+	if d.Len() == 0 {
+		return math.NaN()
+	}
+	if k < 1 || k > n {
+		panic("ensemble: order statistic index out of range")
+	}
+	// E[X_(k)] = integral over u in (0,1) of Q(u) dBeta(u; k, n-k+1).
+	// Numerically integrate with the beta density on a uniform grid.
+	const steps = 2048
+	a, b := float64(k), float64(n-k+1)
+	sum, wsum := 0.0, 0.0
+	for i := 0; i < steps; i++ {
+		u := (float64(i) + 0.5) / steps
+		w := math.Exp((a-1)*math.Log(u) + (b-1)*math.Log(1-u) - logBeta(a, b))
+		sum += w * d.Quantile(u)
+		wsum += w
+	}
+	return sum / wsum
+}
+
+// ExpectedMedianOfN estimates the expected median of n draws.
+func (d *Dataset) ExpectedMedianOfN(n int) float64 {
+	return d.ExpectedKthOfN((n+1)/2, n)
+}
+
+// betaInc is the regularized incomplete beta function I_x(a, b) via
+// the continued-fraction expansion (Numerical-Recipes style).
+func betaInc(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := a*math.Log(x) + b*math.Log(1-x) - logBeta(a, b)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func logBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// Bootstrap resamples the dataset nBoot times and returns the given
+// statistic's bootstrap distribution, for confidence intervals on
+// ensemble summaries (how stable is this mode/median/p99 across
+// hypothetical re-runs?). The rng function must return uniform
+// variates in [0,1); pass a seeded generator for reproducibility.
+func (d *Dataset) Bootstrap(stat func(*Dataset) float64, nBoot int, rng func() float64) *Dataset {
+	n := d.Len()
+	if n == 0 || nBoot <= 0 {
+		return NewDataset(nil)
+	}
+	src := d.Values()
+	out := make([]float64, nBoot)
+	buf := make([]float64, n)
+	for b := 0; b < nBoot; b++ {
+		for i := range buf {
+			buf[i] = src[int(rng()*float64(n))]
+		}
+		out[b] = stat(NewDataset(append([]float64(nil), buf...)))
+	}
+	return NewDataset(out)
+}
+
+// BootstrapCI returns the (lo, hi) percentile bootstrap confidence
+// interval at the given level (e.g. 0.95) for the statistic.
+func (d *Dataset) BootstrapCI(stat func(*Dataset) float64, nBoot int, level float64, rng func() float64) (lo, hi float64) {
+	bd := d.Bootstrap(stat, nBoot, rng)
+	alpha := (1 - level) / 2
+	return bd.Quantile(alpha), bd.Quantile(1 - alpha)
+}
+
+// HarmonicStructure tests whether mode centers form the paper's
+// harmonic pattern: a base mode at time T with other modes near T/h
+// for small integer harmonics h. It returns the base (slowest) center
+// and the harmonic number matched for each mode (1 for the base), or
+// ok=false when fewer than two modes fit the pattern within tol
+// (relative tolerance on the center, e.g. 0.15).
+func HarmonicStructure(modes []Mode, tol float64) (base float64, harmonics []int, ok bool) {
+	if len(modes) < 2 {
+		return 0, nil, false
+	}
+	centers := make([]float64, len(modes))
+	for i, m := range modes {
+		centers[i] = m.Center
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(centers)))
+	base = centers[0]
+	harmonics = make([]int, 0, len(centers))
+	matched := 0
+	for _, c := range centers {
+		h := int(math.Round(base / c))
+		if h < 1 {
+			h = 1
+		}
+		if h <= 8 && math.Abs(c-base/float64(h)) <= tol*base/float64(h) {
+			harmonics = append(harmonics, h)
+			matched++
+		} else {
+			harmonics = append(harmonics, 0) // no harmonic fit
+		}
+	}
+	return base, harmonics, matched >= 2
+}

@@ -1,0 +1,174 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+func TestOrderStatCDFBounds(t *testing.T) {
+	// For the maximum (k=n), P = F^n; for the minimum, P = 1-(1-F)^n.
+	for _, F := range []float64{0, 0.2, 0.5, 0.9, 1} {
+		n := 7
+		if got, want := OrderStatCDF(F, n, n), math.Pow(F, float64(n)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("max CDF at F=%v: %v, want %v", F, got, want)
+		}
+		if got, want := OrderStatCDF(F, 1, n), 1-math.Pow(1-F, float64(n)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("min CDF at F=%v: %v, want %v", F, got, want)
+		}
+	}
+}
+
+func TestOrderStatCDFMonotoneInK(t *testing.T) {
+	// Higher order statistics are stochastically larger: their CDF at
+	// fixed t is smaller.
+	F := 0.6
+	n := 10
+	prev := 1.1
+	for k := 1; k <= n; k++ {
+		p := OrderStatCDF(F, k, n)
+		if p > prev+1e-12 {
+			t.Fatalf("CDF not decreasing in k at k=%d: %v > %v", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestOrderStatCDFPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	OrderStatCDF(0.5, 0, 5)
+}
+
+func TestExpectedKthOfNUniform(t *testing.T) {
+	// For U(0,1): E[X_(k) of n] = k/(n+1).
+	d := uniformDataset(31, 60000)
+	for _, tc := range []struct{ k, n int }{{1, 9}, {5, 9}, {9, 9}, {50, 99}} {
+		got := d.ExpectedKthOfN(tc.k, tc.n)
+		want := float64(tc.k) / float64(tc.n+1)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("E[X_(%d) of %d] = %v, want %v", tc.k, tc.n, got, want)
+		}
+	}
+}
+
+func TestExpectedMedianBelowExpectedMax(t *testing.T) {
+	d := uniformDataset(32, 20000)
+	n := 101
+	med := d.ExpectedMedianOfN(n)
+	max := d.ExpectedMaxOfN(n)
+	if med >= max {
+		t.Errorf("E[median]=%v >= E[max]=%v", med, max)
+	}
+	if math.Abs(med-0.5) > 0.03 {
+		t.Errorf("expected median of uniform draws %v, want ~0.5", med)
+	}
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	g := sim.NewRNG(33)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = g.Normal(10, 2)
+	}
+	d := NewDataset(xs)
+	r := sim.NewRNG(34)
+	lo, hi := d.BootstrapCI(func(dd *Dataset) float64 { return dd.Mean() }, 500, 0.95, r.Float64)
+	if lo > 10 || hi < 10 {
+		t.Errorf("95%% CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	if hi-lo > 1.0 {
+		t.Errorf("CI width %v implausibly wide for n=400, sigma=2", hi-lo)
+	}
+	if lo >= hi {
+		t.Errorf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapEmptyDataset(t *testing.T) {
+	d := NewDataset(nil)
+	r := sim.NewRNG(1)
+	if b := d.Bootstrap(func(dd *Dataset) float64 { return dd.Mean() }, 10, r.Float64); b.Len() != 0 {
+		t.Error("bootstrap of empty dataset produced samples")
+	}
+}
+
+func TestHarmonicStructureDetectsR2R4R(t *testing.T) {
+	modes := []Mode{
+		{Center: 32.5, Height: 10},
+		{Center: 16.4, Height: 7},
+		{Center: 8.2, Height: 4},
+	}
+	base, harmonics, ok := HarmonicStructure(modes, 0.15)
+	if !ok {
+		t.Fatal("harmonic structure not detected")
+	}
+	if math.Abs(base-32.5) > 1e-9 {
+		t.Errorf("base %v, want 32.5", base)
+	}
+	want := []int{1, 2, 4}
+	for i, h := range harmonics {
+		if h != want[i] {
+			t.Errorf("harmonics = %v, want %v", harmonics, want)
+			break
+		}
+	}
+}
+
+func TestHarmonicStructureRejectsUnrelatedModes(t *testing.T) {
+	modes := []Mode{
+		{Center: 30, Height: 10},
+		{Center: 23, Height: 7}, // not a harmonic of 30
+	}
+	if _, _, ok := HarmonicStructure(modes, 0.1); ok {
+		t.Error("unrelated modes reported as harmonic")
+	}
+	if _, _, ok := HarmonicStructure(modes[:1], 0.1); ok {
+		t.Error("single mode reported as harmonic")
+	}
+}
+
+func TestSummarizeTrimodal(t *testing.T) {
+	g := sim.NewRNG(35)
+	d := NewDataset(nil)
+	for i := 0; i < 30000; i++ {
+		switch {
+		case g.Bernoulli(0.45):
+			d.Add(g.Normal(32, 1.2))
+		case g.Bernoulli(0.5):
+			d.Add(g.Normal(16, 1.0))
+		default:
+			d.Add(g.Normal(8, 0.8))
+		}
+	}
+	s := Summarize(d, SummaryOpts{})
+	if len(s.Modes) != 3 {
+		t.Fatalf("summary found %d modes, want 3", len(s.Modes))
+	}
+	if !s.HarmonicOK {
+		t.Error("summary missed the harmonic structure")
+	}
+	if math.Abs(s.HarmonicBase-32) > 2 {
+		t.Errorf("harmonic base %v, want ~32", s.HarmonicBase)
+	}
+	if s.GaussKS < 0.05 {
+		t.Errorf("trimodal GaussKS %v, want clearly non-Gaussian", s.GaussKS)
+	}
+	if s.Moments.N != 30000 {
+		t.Errorf("summary N = %d", s.Moments.N)
+	}
+	if out := s.String(); len(out) == 0 {
+		t.Error("empty summary string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(NewDataset(nil), SummaryOpts{})
+	if s.Hist != nil || len(s.Modes) != 0 {
+		t.Error("empty dataset should produce an empty summary")
+	}
+}

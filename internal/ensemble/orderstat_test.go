@@ -1,0 +1,140 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+func uniformDataset(seed int64, n int) *Dataset {
+	g := sim.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Float64()
+	}
+	return NewDataset(xs)
+}
+
+func TestExpectedMaxUniformAnalytic(t *testing.T) {
+	d := uniformDataset(1, 50000)
+	for _, n := range []int{1, 2, 5, 10, 100} {
+		got := d.ExpectedMaxOfN(n)
+		want := float64(n) / float64(n+1) // E[max of n U(0,1)]
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("ExpectedMaxOfN(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestExpectedMaxMonotoneInN(t *testing.T) {
+	d := uniformDataset(2, 20000)
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		e := d.ExpectedMaxOfN(n)
+		if e < prev {
+			t.Fatalf("E[max of %d] = %v < previous %v", n, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestExpectedMaxHistogramAgreesWithSample(t *testing.T) {
+	d := uniformDataset(3, 50000)
+	h := NewHistogram(LinearBins(0, 1, 200))
+	h.AddAll(d)
+	for _, n := range []int{4, 64} {
+		a, b := ExpectedMax(h, n), d.ExpectedMaxOfN(n)
+		if math.Abs(a-b) > 0.02 {
+			t.Errorf("n=%d: hist %v vs sample %v", n, a, b)
+		}
+	}
+}
+
+func TestMaxOrderPDFIsADensityPeakedRight(t *testing.T) {
+	d := uniformDataset(4, 50000)
+	h := NewHistogram(LinearBins(0, 1, 100))
+	h.AddAll(d)
+	fn := MaxOrderPDF(h, 50)
+	integral := 0.0
+	argmax, best := 0, 0.0
+	for i, f := range fn {
+		integral += f * h.Bins.Width(i)
+		if f > best {
+			best, argmax = f, i
+		}
+	}
+	if math.Abs(integral-1) > 0.05 {
+		t.Errorf("f_N integral %v, want ~1", integral)
+	}
+	if c := h.Bins.Center(argmax); c < 0.9 {
+		t.Errorf("f_50 peaks at %v, want in the right tail (>0.9)", c)
+	}
+}
+
+func TestConvolveKMeanAndVarianceAdditive(t *testing.T) {
+	g := sim.NewRNG(5)
+	h := NewHistogram(LinearBins(0, 4, 200))
+	d := NewDataset(nil)
+	for i := 0; i < 40000; i++ {
+		x := g.Uniform(0.5, 3.5)
+		h.Add(x)
+		d.Add(x)
+	}
+	k := 4
+	sum := ConvolveK(h, k)
+	wantMean := float64(k) * d.Mean()
+	if math.Abs(sum.Mean()-wantMean) > 0.1 {
+		t.Errorf("sum mean %v, want %v", sum.Mean(), wantMean)
+	}
+	// Variance via quantile spread: std of sum ~ sqrt(k) * std.
+	spread := sum.Quantile(0.84) - sum.Quantile(0.16)
+	wantSpread := 2 * math.Sqrt(float64(k)) * d.Std()
+	if math.Abs(spread-wantSpread)/wantSpread > 0.15 {
+		t.Errorf("sum spread %v, want ~%v", spread, wantSpread)
+	}
+}
+
+func TestConvolveKRejectsLogBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for log bins")
+		}
+	}()
+	ConvolveK(NewHistogram(LogBins(0.1, 10, 4)), 2)
+}
+
+func TestSplitPredictionImprovesWorstCase(t *testing.T) {
+	// Heavy-ish tailed single-call distribution: splitting narrows the
+	// per-task total and the predicted slowest-of-1024 falls with k.
+	g := sim.NewRNG(6)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 30 * g.Lognormal(0, 0.35)
+	}
+	d := NewDataset(xs)
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		pred := SplitPrediction(d, k, 1024)
+		if pred >= prev {
+			t.Errorf("k=%d predicted slowest %v, want < %v (LLN narrowing)", k, pred, prev)
+		}
+		prev = pred
+	}
+}
+
+func TestCVFallsLikeSqrtK(t *testing.T) {
+	// Direct check of the LLN narrowing on the convolved distribution.
+	g := sim.NewRNG(7)
+	h := NewHistogram(LinearBins(0, 10, 400))
+	for i := 0; i < 50000; i++ {
+		h.Add(g.Uniform(1, 9))
+	}
+	cv := func(hh *Histogram) float64 { return hh.Std() / hh.Mean() }
+	base := cv(h)
+	k4 := cv(ConvolveK(h, 4))
+	ratio := base / k4
+	if math.Abs(ratio-2) > 0.1 { // sqrt(4) = 2
+		t.Errorf("CV ratio for k=4 is %v, want ~2", ratio)
+	}
+}

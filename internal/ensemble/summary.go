@@ -1,0 +1,83 @@
+package ensemble
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary is the one-call ensemble characterization: moments, the
+// histogram's mode structure (with harmonic analysis), tail indices,
+// and a normality score. It is what an analyst reads first when
+// transitioning from events to ensembles.
+type Summary struct {
+	Moments Moments
+	// Modes of the linear-binned histogram, strongest first.
+	Modes []Mode
+	// HarmonicBase and Harmonics describe a detected R/2R/4R-style
+	// structure (HarmonicOK false when none).
+	HarmonicBase float64
+	Harmonics    []int
+	HarmonicOK   bool
+	// TailIndexP99 is p99/median — the paper's heavy-tail signal.
+	TailIndexP99 float64
+	// GaussKS scores distance from a fitted Gaussian.
+	GaussKS float64
+	// Hist is the histogram the modes were detected on.
+	Hist *Histogram
+}
+
+// SummaryOpts tunes Summarize.
+type SummaryOpts struct {
+	// Bins for the linear histogram (default 100).
+	Bins int
+	// Mode detection options.
+	Modes ModeOpts
+	// HarmonicTol is the relative tolerance for harmonic matching
+	// (default 0.15).
+	HarmonicTol float64
+}
+
+// Summarize computes the full ensemble characterization of a dataset.
+func Summarize(d *Dataset, opts SummaryOpts) Summary {
+	if opts.Bins <= 0 {
+		opts.Bins = 100
+	}
+	if opts.HarmonicTol == 0 {
+		opts.HarmonicTol = 0.15
+	}
+	s := Summary{Moments: d.Moments()}
+	if d.Len() == 0 {
+		return s
+	}
+	hi := d.Max() * 1.01
+	if hi <= 0 {
+		hi = 1
+	}
+	s.Hist = NewHistogram(LinearBins(0, hi, opts.Bins))
+	s.Hist.AddAll(d)
+	s.Modes = s.Hist.Modes(opts.Modes)
+	s.HarmonicBase, s.Harmonics, s.HarmonicOK = HarmonicStructure(s.Modes, opts.HarmonicTol)
+	if med := d.Quantile(0.5); med > 0 {
+		s.TailIndexP99 = d.Quantile(0.99) / med
+	}
+	s.GaussKS = GaussianKS(d)
+	return s
+}
+
+// String renders the summary as a short multi-line report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Moments)
+	if len(s.Modes) > 0 {
+		fmt.Fprintf(&b, "modes:")
+		for _, m := range s.Modes {
+			fmt.Fprintf(&b, " %.3g (mass %.0f%%)", m.Center, m.Mass*100)
+		}
+		fmt.Fprintln(&b)
+	}
+	if s.HarmonicOK {
+		fmt.Fprintf(&b, "harmonic structure: base %.3g with harmonics %v\n", s.HarmonicBase, s.Harmonics)
+	}
+	fmt.Fprintf(&b, "tail p99/med=%.1f gaussKS=%.3f", s.TailIndexP99, s.GaussKS)
+	return b.String()
+}

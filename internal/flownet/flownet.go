@@ -1,0 +1,389 @@
+// Package flownet models shared-bandwidth data movement as fluid flows
+// through a two-level fabric: an aggregate capacity (the back-end I/O
+// fabric, e.g. the path from compute nodes through the network to the
+// storage servers) divided among ports (one per compute node client),
+// each of which divides its share among its active streams.
+//
+// Rates are allocated max-min fairly (water-filling) with optional
+// per-port weights/caps and per-stream weights/caps. To keep the event
+// count proportional to the number of transfers rather than to bytes,
+// rates are recomputed on a fixed virtual-time quantum instead of on
+// every membership change; stream completion times are interpolated
+// exactly within a quantum. The quantization error on any transfer
+// duration is bounded by one quantum.
+package flownet
+
+import (
+	"fmt"
+	"math"
+
+	"ensembleio/internal/sim"
+)
+
+// Config parametrizes a Fabric.
+type Config struct {
+	// AggregateMBps is the total back-end bandwidth in MB/s shared by
+	// all ports.
+	AggregateMBps float64
+	// Quantum is the rate-recomputation interval in virtual seconds.
+	// Zero selects a default of 50 ms.
+	Quantum sim.Duration
+}
+
+// Fabric is a shared bandwidth domain. Create one with New.
+//
+// Scheduling: while the active-stream population is at most
+// exactThreshold, every membership change recomputes rates and the
+// next completion is scheduled at its exact time. Beyond the
+// threshold, the fabric falls back to quantum batching — rates are
+// refreshed every Quantum and completions are detected with up to one
+// quantum of lag — keeping the cost of huge fan-outs (10k+ streams)
+// proportional to streams, not streams squared.
+type Fabric struct {
+	eng      *sim.Engine
+	cap      float64
+	quantum  sim.Duration
+	ports    []*Port
+	actPorts []*Port // ports with at least one stream (may hold stale entries until refresh)
+	active   int     // number of active streams across all ports
+	lastMove sim.Time
+	pokeSet  bool
+	gen      uint64 // invalidates scheduled refreshes
+}
+
+// exactThreshold is the active-stream population up to which exact
+// completion scheduling is used.
+const exactThreshold = 512
+
+// New returns a fabric on the given engine.
+func New(eng *sim.Engine, cfg Config) *Fabric {
+	if cfg.AggregateMBps <= 0 {
+		panic("flownet: aggregate capacity must be positive")
+	}
+	q := cfg.Quantum
+	if q == 0 {
+		q = 0.05
+	}
+	return &Fabric{eng: eng, cap: cfg.AggregateMBps, quantum: q}
+}
+
+// AggregateMBps returns the configured aggregate capacity.
+func (f *Fabric) AggregateMBps() float64 { return f.cap }
+
+// Port is one client of the fabric (typically a compute node). Its
+// active streams share the port's allocation.
+type Port struct {
+	fab     *Fabric
+	cap     float64 // local link capacity, MB/s (0 = unlimited)
+	weight  float64 // share weight at fabric level
+	streams []*Stream
+	share   float64 // current port allocation, MB/s
+	listed  bool    // present in fab.actPorts
+	maxUse  float64 // scratch: maximum useful rate this round
+	frozen  bool    // scratch: water-fill freeze mark
+}
+
+// NewPort adds a port with the given local link capacity in MB/s
+// (0 means no local limit) and fabric-level weight 1.
+func (f *Fabric) NewPort(capMBps float64) *Port {
+	return f.NewWeightedPort(capMBps, 1)
+}
+
+// NewWeightedPort adds a port whose fabric-level share is proportional
+// to weight. A background-load injector uses a weighted port.
+func (f *Fabric) NewWeightedPort(capMBps, weight float64) *Port {
+	if weight <= 0 {
+		panic("flownet: port weight must be positive")
+	}
+	p := &Port{fab: f, cap: capMBps, weight: weight}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// StreamOpts tunes one transfer.
+type StreamOpts struct {
+	// RateCap limits this stream's rate in MB/s (0 = unlimited). Used
+	// to model request-size/latency-limited transfers such as
+	// degenerate page-sized read RPCs.
+	RateCap float64
+	// Weight sets the within-port share weight (default 1).
+	Weight float64
+	// Done is called at the stream's exact completion time.
+	Done func()
+}
+
+// Stream is one in-flight transfer.
+type Stream struct {
+	port      *Port
+	remaining float64 // MB
+	rateCap   float64
+	weight    float64
+	rate      float64 // current allocation, MB/s
+	joined    sim.Time
+	done      func()
+	finished  bool
+	frozen    bool // scratch: water-fill freeze mark
+}
+
+// Rate returns the stream's current fluid rate in MB/s. Exposed for
+// instrumentation and tests.
+func (s *Stream) Rate() float64 { return s.rate }
+
+// Start begins an asynchronous transfer of demandMB megabytes on the
+// port. Zero-demand streams complete immediately.
+func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
+	if demandMB < 0 {
+		panic("flownet: negative demand")
+	}
+	w := opts.Weight
+	if w == 0 {
+		w = 1
+	}
+	s := &Stream{
+		port:      p,
+		remaining: demandMB,
+		rateCap:   opts.RateCap,
+		weight:    w,
+		joined:    p.fab.eng.Now(),
+		done:      opts.Done,
+	}
+	if demandMB == 0 {
+		s.finished = true
+		if s.done != nil {
+			p.fab.eng.At(p.fab.eng.Now(), s.done)
+		}
+		return s
+	}
+	p.streams = append(p.streams, s)
+	if !p.listed {
+		p.listed = true
+		p.fab.actPorts = append(p.fab.actPorts, p)
+	}
+	p.fab.active++
+	p.fab.poke()
+	return s
+}
+
+// Transfer moves demandMB megabytes synchronously on behalf of proc and
+// returns the transfer duration.
+func (p *Port) Transfer(proc *sim.Proc, demandMB float64, opts StreamOpts) sim.Duration {
+	start := proc.Now()
+	wake := proc.Block()
+	userDone := opts.Done
+	opts.Done = func() {
+		if userDone != nil {
+			userDone()
+		}
+		wake()
+	}
+	p.Start(demandMB, opts)
+	proc.Park()
+	return proc.Now() - start
+}
+
+// poke schedules a refresh at the current instant, coalescing all
+// same-instant membership changes (e.g. a whole barrier's worth of
+// writes starting together) into one rate recomputation.
+func (f *Fabric) poke() {
+	if f.pokeSet {
+		return
+	}
+	f.pokeSet = true
+	f.eng.At(f.eng.Now(), func() {
+		f.pokeSet = false
+		f.refresh()
+	})
+}
+
+// refresh advances stream progress to now, completes finished streams,
+// recomputes rates, and schedules the next wake-up (exact completion
+// time for small populations, quantum tick for large ones).
+func (f *Fabric) refresh() {
+	now := f.eng.Now()
+	f.advance(f.lastMove, now)
+	f.lastMove = now
+	f.completeFinished(now)
+	f.gen++
+	if f.active == 0 {
+		return
+	}
+	f.recompute()
+
+	next := now + f.quantum
+	if f.active <= exactThreshold {
+		for _, p := range f.actPorts {
+			for _, s := range p.streams {
+				if s.rate > 0 {
+					if t := now + sim.Time(s.remaining/s.rate); t < next {
+						next = t
+					}
+				}
+			}
+		}
+	}
+	gen := f.gen
+	f.eng.At(next, func() {
+		if f.gen == gen {
+			f.refresh()
+		}
+	})
+}
+
+// completeFinished fires done callbacks for streams whose demand is
+// met and removes them from their ports. A stream within one
+// microsecond of finishing at its current rate counts as done: without
+// that slack, float rounding of now + remaining/rate can schedule a
+// zero-advance refresh loop.
+func (f *Fabric) completeFinished(now sim.Time) {
+	const eps = 1e-9
+	keptPorts := f.actPorts[:0]
+	for _, p := range f.actPorts {
+		kept := p.streams[:0]
+		for _, s := range p.streams {
+			if s.remaining <= eps || (s.rate > 0 && s.remaining <= s.rate*1e-6) {
+				s.finished = true
+				f.active--
+				if s.done != nil {
+					f.eng.At(now, s.done)
+				}
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		for i := len(kept); i < len(p.streams); i++ {
+			p.streams[i] = nil
+		}
+		p.streams = kept
+		if len(p.streams) > 0 {
+			keptPorts = append(keptPorts, p)
+		} else {
+			p.listed = false
+			p.share = 0
+		}
+	}
+	for i := len(keptPorts); i < len(f.actPorts); i++ {
+		f.actPorts[i] = nil
+	}
+	f.actPorts = keptPorts
+}
+
+// advance integrates each stream's progress over [t0, t1) at the rates
+// assigned by the previous recompute. Streams that joined mid-interval
+// have had rate zero and are unaffected.
+func (f *Fabric) advance(t0, t1 sim.Time) {
+	dt := float64(t1 - t0)
+	if dt <= 0 {
+		return
+	}
+	for _, p := range f.actPorts {
+		for _, s := range p.streams {
+			if s.rate > 0 {
+				s.remaining -= s.rate * dt
+			}
+		}
+	}
+}
+
+// recompute performs the two-level water-filling rate allocation over
+// the active ports using iterative freezing (no sorting, no
+// allocation): in each round the tentative fair level is computed and
+// every port whose maximum useful rate falls below its weighted share
+// is frozen there; the remainder is split by weight.
+func (f *Fabric) recompute() {
+	totalW := 0.0
+	for _, p := range f.actPorts {
+		max := p.cap
+		if max <= 0 {
+			max = math.Inf(1)
+		}
+		capSum := 0.0
+		allCapped := true
+		for _, s := range p.streams {
+			if s.rateCap <= 0 {
+				allCapped = false
+				break
+			}
+			capSum += s.rateCap
+		}
+		if allCapped && capSum < max {
+			max = capSum
+		}
+		p.maxUse = max
+		p.frozen = false
+		totalW += p.weight
+	}
+	remaining := f.cap
+	wRem := totalW
+	for wRem > 0 {
+		level := remaining / wRem
+		froze := false
+		for _, p := range f.actPorts {
+			if !p.frozen && p.maxUse <= p.weight*level {
+				p.frozen = true
+				p.share = p.maxUse
+				remaining -= p.maxUse
+				wRem -= p.weight
+				froze = true
+			}
+		}
+		if !froze {
+			for _, p := range f.actPorts {
+				if !p.frozen {
+					p.share = p.weight * level
+				}
+			}
+			break
+		}
+	}
+	for _, p := range f.actPorts {
+		p.distribute()
+	}
+}
+
+// distribute water-fills the port share across its streams with the
+// same iterative-freezing scheme, honoring per-stream caps and weights.
+func (p *Port) distribute() {
+	totalW := 0.0
+	for _, s := range p.streams {
+		s.frozen = false
+		totalW += s.weight
+	}
+	remaining := p.share
+	wRem := totalW
+	for wRem > 0 {
+		level := remaining / wRem
+		froze := false
+		for _, s := range p.streams {
+			if s.frozen {
+				continue
+			}
+			max := s.rateCap
+			if max <= 0 {
+				max = math.Inf(1)
+			}
+			if max <= s.weight*level {
+				s.frozen = true
+				s.rate = max
+				remaining -= max
+				wRem -= s.weight
+				froze = true
+			}
+		}
+		if !froze {
+			for _, s := range p.streams {
+				if !s.frozen {
+					s.rate = s.weight * level
+				}
+			}
+			break
+		}
+	}
+}
+
+// ActiveStreams reports the number of in-flight streams fabric-wide.
+func (f *Fabric) ActiveStreams() int { return f.active }
+
+// String implements fmt.Stringer for diagnostics.
+func (f *Fabric) String() string {
+	return fmt.Sprintf("fabric(cap=%.0fMB/s ports=%d active=%d)", f.cap, len(f.ports), f.active)
+}

@@ -1,0 +1,260 @@
+// Package h5lite is a simplified hierarchical data-format library in
+// the spirit of HDF5 + the H5Part veneer, reproducing the POSIX-level
+// I/O pattern that matters to the GCRM study (§V):
+//
+//   - fixed-size records written by many tasks into shared datasets in
+//     one file;
+//   - a stream of small (~kB) metadata writes — object headers, chunk
+//     index entries — issued serially by the metadata-writing rank
+//     after each dataset flush (the red activity in Figure 6a);
+//   - an optional alignment property that pads record strides to
+//     stripe boundaries (the Figure 6g optimization);
+//   - an optional aggregated-metadata mode that defers all metadata
+//     into one large write at file close (the Figure 6j optimization).
+//
+// Offsets are computed deterministically from the creation schema so
+// every rank independently agrees on the layout, as HDF5 collective
+// mode guarantees.
+package h5lite
+
+import (
+	"errors"
+	"fmt"
+
+	"ensembleio/internal/posixio"
+	"ensembleio/internal/sim"
+)
+
+// IO is the POSIX surface h5lite drives; *ipmio.Tracer and
+// *posixio.Task both satisfy it via thin adapters or directly.
+type IO interface {
+	Open(p *sim.Proc, path string, flags int) (int, error)
+	Close(p *sim.Proc, fd int) error
+	Pwrite(p *sim.Proc, fd int, offset, n int64) (int64, error)
+	Pread(p *sim.Proc, fd int, offset, n int64) (int64, error)
+}
+
+// FileOpts configures a file.
+type FileOpts struct {
+	// Alignment pads dataset bases and record strides to this many
+	// bytes (0 = packed layout, the GCRM baseline).
+	Alignment int64
+	// AggregateMetadata defers every metadata write into a single
+	// buffer flushed as large write(s) at Close.
+	AggregateMetadata bool
+	// MetaOpBytes is the size of one metadata write (default 2048,
+	// matching the paper's "<3 KB").
+	MetaOpBytes int64
+	// SuperblockBytes reserves the file header region (default 4096).
+	SuperblockBytes int64
+	// MetadataWriter marks the rank that issues metadata I/O (HDF5
+	// funnels metadata through one writer; GCRM used task 0).
+	MetadataWriter bool
+}
+
+func (o *FileOpts) defaults() {
+	if o.MetaOpBytes == 0 {
+		o.MetaOpBytes = 2048
+	}
+	if o.Alignment > 0 {
+		// An alignment-tuned file also pads metadata blocks to whole
+		// file-system pages at page offsets, which is what lets the
+		// metadata path dodge partial-page lock bouncing (the paper's
+		// "metadata operations benefited somewhat from alignment").
+		const page = 4096
+		o.MetaOpBytes = (o.MetaOpBytes + page - 1) / page * page
+	}
+	if o.SuperblockBytes == 0 {
+		o.SuperblockBytes = 4096
+	}
+}
+
+// File is an open h5lite file.
+type File struct {
+	io   IO
+	fd   int
+	opts FileOpts
+
+	cursor      int64 // next free byte for layout allocation
+	pendingMeta int64 // aggregated metadata bytes awaiting close
+	metaFlushed bool
+	datasets    []*Dataset
+	closed      bool
+}
+
+// Dataset is one named record array within the file.
+type Dataset struct {
+	f           *File
+	Name        string
+	RecordBytes int64
+	Stride      int64 // record allocation pitch (>= RecordBytes)
+	Base        int64 // file offset of record 0
+	NRecords    int
+	metaOps     int   // small writes per metadata flush
+	metaBase    int64 // reserved metadata region (immediate mode)
+	metaCursor  int64
+}
+
+// Create creates (or, for non-creating ranks, opens) the file and
+// writes the superblock if this rank is the metadata writer.
+func Create(p *sim.Proc, io IO, path string, opts FileOpts) (*File, error) {
+	opts.defaults()
+	fd, err := io.Open(p, path, posixio.OCreat|posixio.ORdwr)
+	if err != nil {
+		return nil, fmt.Errorf("h5lite: create %s: %w", path, err)
+	}
+	f := &File{io: io, fd: fd, opts: opts, cursor: opts.SuperblockBytes}
+	if opts.MetadataWriter {
+		if err := f.metaWrite(p, 0, opts.SuperblockBytes); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (f *File) align(x int64) int64 {
+	a := f.opts.Alignment
+	if a <= 0 {
+		return x
+	}
+	return (x + a - 1) / a * a
+}
+
+// CreateDataset declares a dataset of nRecords fixed-size records and
+// allocates its extent. metaOps is the number of small metadata writes
+// a FlushMetadata on this dataset costs (chunk index scale). Every
+// rank must create datasets in the same order with the same arguments.
+func (f *File) CreateDataset(name string, recordBytes int64, nRecords, metaOps int) *Dataset {
+	if f.closed {
+		panic("h5lite: CreateDataset on closed file")
+	}
+	stride := recordBytes
+	if f.opts.Alignment > 0 {
+		stride = f.align(recordBytes)
+	}
+	d := &Dataset{
+		f:           f,
+		Name:        name,
+		RecordBytes: recordBytes,
+		Stride:      stride,
+		Base:        f.align(f.cursor),
+		NRecords:    nRecords,
+		metaOps:     metaOps,
+	}
+	f.cursor = d.Base + int64(nRecords)*stride
+	if !f.opts.AggregateMetadata {
+		// Reserve an immediate metadata region after the data. In
+		// aligned mode the region starts on a page boundary so its
+		// page-sized ops stay page-aligned (note that a decimal-MB
+		// stripe boundary is not itself page-aligned).
+		d.metaBase = f.cursor
+		if f.opts.Alignment > 0 {
+			const page = 4096
+			d.metaBase = (d.metaBase + page - 1) / page * page
+		}
+		d.metaCursor = d.metaBase
+		f.cursor = d.metaBase + int64(metaOps)*f.opts.MetaOpBytes
+	}
+	f.datasets = append(f.datasets, d)
+	return d
+}
+
+// RecordOffset returns the file offset of record idx.
+func (d *Dataset) RecordOffset(idx int) int64 {
+	return d.Base + int64(idx)*d.Stride
+}
+
+// WriteRecord writes record idx. With alignment enabled the write is
+// padded to the full stride so it lands as whole-stripe RPCs.
+func (d *Dataset) WriteRecord(p *sim.Proc, idx int) error {
+	if idx < 0 || idx >= d.NRecords {
+		return fmt.Errorf("h5lite: record %d out of range [0,%d)", idx, d.NRecords)
+	}
+	n := d.RecordBytes
+	if d.f.opts.Alignment > 0 {
+		n = d.Stride
+	}
+	_, err := d.f.io.Pwrite(p, d.f.fd, d.RecordOffset(idx), n)
+	return err
+}
+
+// ReadRecord reads record idx back (the analysis/visualization path
+// of the GCRM pipeline). It returns an error for out-of-range indices
+// or short reads.
+func (d *Dataset) ReadRecord(p *sim.Proc, idx int) error {
+	if idx < 0 || idx >= d.NRecords {
+		return fmt.Errorf("h5lite: record %d out of range [0,%d)", idx, d.NRecords)
+	}
+	n, err := d.f.io.Pread(p, d.f.fd, d.RecordOffset(idx), d.RecordBytes)
+	if err != nil {
+		return err
+	}
+	if n != d.RecordBytes {
+		return fmt.Errorf("h5lite: short read of record %d: %d of %d bytes", idx, n, d.RecordBytes)
+	}
+	return nil
+}
+
+// FlushMetadata emits the dataset's metadata. In immediate mode the
+// metadata-writing rank issues metaOps small serialized writes; in
+// aggregated mode the bytes are buffered for Close. Non-metadata-
+// writer ranks return immediately.
+func (d *Dataset) FlushMetadata(p *sim.Proc) error {
+	f := d.f
+	if !f.opts.MetadataWriter {
+		return nil
+	}
+	total := int64(d.metaOps) * f.opts.MetaOpBytes
+	if f.opts.AggregateMetadata {
+		f.pendingMeta += total
+		return nil
+	}
+	for i := 0; i < d.metaOps; i++ {
+		if err := f.metaWrite(p, d.metaCursor, f.opts.MetaOpBytes); err != nil {
+			return err
+		}
+		d.metaCursor += f.opts.MetaOpBytes
+	}
+	return nil
+}
+
+func (f *File) metaWrite(p *sim.Proc, off, n int64) error {
+	_, err := f.io.Pwrite(p, f.fd, off, n)
+	return err
+}
+
+// Close flushes aggregated metadata (as large aligned writes at the
+// end of the file) and closes the descriptor.
+func (f *File) Close(p *sim.Proc) error {
+	if f.closed {
+		return errors.New("h5lite: double close")
+	}
+	f.closed = true
+	if f.opts.MetadataWriter && f.opts.AggregateMetadata && f.pendingMeta > 0 && !f.metaFlushed {
+		f.metaFlushed = true
+		const chunk = 1e6 // 1 MB aggregated metadata writes
+		off := f.align(f.cursor)
+		remaining := f.pendingMeta
+		for remaining > 0 {
+			n := int64(chunk)
+			if remaining < n {
+				n = remaining
+				if f.opts.Alignment > 0 {
+					n = f.align(n) // pad the final chunk too
+				}
+			}
+			if err := f.metaWrite(p, off, n); err != nil {
+				return err
+			}
+			off += n
+			remaining -= int64(chunk)
+			if remaining < 0 {
+				remaining = 0
+			}
+		}
+	}
+	return f.io.Close(p, f.fd)
+}
+
+// Datasets returns the declared datasets in creation order.
+func (f *File) Datasets() []*Dataset { return f.datasets }

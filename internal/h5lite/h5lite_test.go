@@ -1,0 +1,250 @@
+package h5lite
+
+import (
+	"testing"
+
+	"ensembleio/internal/posixio"
+	"ensembleio/internal/sim"
+)
+
+// recIO records Pwrite calls without any timing simulation.
+type recIO struct {
+	writes []struct{ off, n int64 }
+	reads  []struct{ off, n int64 }
+	opens  int
+	closes int
+}
+
+func (m *recIO) Open(p *sim.Proc, path string, flags int) (int, error) {
+	m.opens++
+	return 3, nil
+}
+func (m *recIO) Close(p *sim.Proc, fd int) error {
+	m.closes++
+	return nil
+}
+func (m *recIO) Pwrite(p *sim.Proc, fd int, off, n int64) (int64, error) {
+	m.writes = append(m.writes, struct{ off, n int64 }{off, n})
+	return n, nil
+}
+
+func (m *recIO) Pread(p *sim.Proc, fd int, off, n int64) (int64, error) {
+	m.reads = append(m.reads, struct{ off, n int64 }{off, n})
+	return n, nil
+}
+
+var _ IO = (*recIO)(nil)
+var _ IO = (*tracerShim)(nil)
+
+// tracerShim proves posixio.Task satisfies the surface via adaptation.
+type tracerShim struct{ t *posixio.Task }
+
+func (s *tracerShim) Open(p *sim.Proc, path string, flags int) (int, error) {
+	return s.t.Open(p, path, flags)
+}
+func (s *tracerShim) Close(p *sim.Proc, fd int) error { return s.t.Close(p, fd) }
+func (s *tracerShim) Pwrite(p *sim.Proc, fd int, off, n int64) (int64, error) {
+	return s.t.Pwrite(p, fd, off, n)
+}
+
+func (s *tracerShim) Pread(p *sim.Proc, fd int, off, n int64) (int64, error) {
+	return s.t.Pread(p, fd, off, n)
+}
+
+func run(t *testing.T, body func(p *sim.Proc)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.Spawn("t", body)
+	eng.Run()
+}
+
+func TestPackedLayoutIsUnaligned(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, err := Create(p, io, "/scratch/g.h5", FileOpts{MetadataWriter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := f.CreateDataset("wind", 1600000, 4, 10)
+		if ds.Stride != 1600000 {
+			t.Errorf("packed stride %d, want 1600000", ds.Stride)
+		}
+		if ds.Base != 4096 {
+			t.Errorf("first dataset base %d, want 4096 (after superblock)", ds.Base)
+		}
+		if off := ds.RecordOffset(2); off != 4096+2*1600000 {
+			t.Errorf("record 2 offset %d", off)
+		}
+		// 1.6 MB records at these offsets cross 1 MB stripes unaligned.
+		if ds.RecordOffset(1)%1e6 == 0 {
+			t.Error("packed layout unexpectedly stripe aligned")
+		}
+		ds.WriteRecord(p, 0)
+		f.Close(p)
+	})
+	// superblock + record + close
+	if io.writes[1].n != 1600000 {
+		t.Errorf("record write size %d, want 1600000", io.writes[1].n)
+	}
+}
+
+func TestAlignedLayoutPadsStrides(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/scratch/g.h5", FileOpts{Alignment: 1e6, MetadataWriter: true})
+		ds := f.CreateDataset("wind", 1600000, 8, 10)
+		if ds.Stride != 2e6 {
+			t.Errorf("aligned stride %d, want 2e6", ds.Stride)
+		}
+		for i := 0; i < 8; i++ {
+			if off := ds.RecordOffset(i); off%1e6 != 0 {
+				t.Errorf("record %d offset %d not 1MB aligned", i, off)
+			}
+		}
+		ds.WriteRecord(p, 3)
+		f.Close(p)
+	})
+	last := io.writes[len(io.writes)-1] // the record write
+	if last.n != 2e6 || last.off%1e6 != 0 {
+		t.Errorf("aligned record write off=%d n=%d, want aligned 2e6", last.off, last.n)
+	}
+}
+
+func TestImmediateMetadataWritesSmallOps(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{MetadataWriter: true})
+		ds := f.CreateDataset("v", 1600000, 2, 25)
+		ds.FlushMetadata(p)
+		f.Close(p)
+	})
+	small := 0
+	for _, w := range io.writes {
+		if w.n == 2048 {
+			small++
+		}
+	}
+	if small != 25 {
+		t.Errorf("%d small metadata writes, want 25", small)
+	}
+}
+
+func TestAggregatedMetadataDeferredToClose(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{MetadataWriter: true, AggregateMetadata: true, Alignment: 1e6})
+		a := f.CreateDataset("a", 1600000, 2, 300)
+		b := f.CreateDataset("b", 1600000, 2, 300)
+		a.FlushMetadata(p)
+		b.FlushMetadata(p)
+		// No metadata written yet (only the superblock).
+		if len(io.writes) != 1 {
+			t.Fatalf("%d writes before close, want 1 (superblock)", len(io.writes))
+		}
+		f.Close(p)
+	})
+	// Aligned mode pads ops to 4096 B: 600 x 4096 B = 2.4576 MB ->
+	// two 1 MB writes plus one tail padded up to 1 MB.
+	var meta []int64
+	for _, w := range io.writes[1:] {
+		meta = append(meta, w.n)
+	}
+	if len(meta) != 3 {
+		t.Fatalf("aggregated metadata writes %v, want 3 chunks", meta)
+	}
+	for i, n := range meta {
+		if n != 1e6 {
+			t.Errorf("chunk %d = %d bytes, want 1e6 (aligned)", i, n)
+		}
+	}
+}
+
+func TestNonMetadataWriterSkipsMetadata(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{MetadataWriter: false})
+		ds := f.CreateDataset("v", 1600000, 2, 25)
+		ds.FlushMetadata(p)
+		f.Close(p)
+	})
+	if len(io.writes) != 0 {
+		t.Errorf("non-writer rank issued %d metadata writes", len(io.writes))
+	}
+}
+
+func TestLayoutAgreementAcrossRanks(t *testing.T) {
+	layout := func(metaWriter bool) []int64 {
+		io := &recIO{}
+		var offs []int64
+		run(t, func(p *sim.Proc) {
+			f, _ := Create(p, io, "/x", FileOpts{MetadataWriter: metaWriter, Alignment: 1e6})
+			a := f.CreateDataset("a", 1600000, 100, 50)
+			b := f.CreateDataset("b", 1600000, 100, 50)
+			offs = append(offs, a.Base, a.Stride, b.Base, b.Stride)
+		})
+		return offs
+	}
+	w, r := layout(true), layout(false)
+	for i := range w {
+		if w[i] != r[i] {
+			t.Fatalf("layout disagrees between ranks: %v vs %v", w, r)
+		}
+	}
+}
+
+func TestWriteRecordOutOfRange(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{})
+		ds := f.CreateDataset("v", 100, 2, 0)
+		if err := ds.WriteRecord(p, 2); err == nil {
+			t.Error("out-of-range record accepted")
+		}
+	})
+}
+
+func TestDoubleCloseFails(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{})
+		if err := f.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(p); err == nil {
+			t.Error("double close accepted")
+		}
+	})
+}
+
+func TestDatasetsDoNotOverlap(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{MetadataWriter: true})
+		a := f.CreateDataset("a", 1600000, 10, 30)
+		b := f.CreateDataset("b", 1600000, 10, 30)
+		endA := a.RecordOffset(9) + a.RecordBytes + int64(30)*2048
+		if b.Base < endA {
+			t.Errorf("dataset b base %d overlaps a's extent ending %d", b.Base, endA)
+		}
+	})
+}
+
+func TestReadRecord(t *testing.T) {
+	io := &recIO{}
+	run(t, func(p *sim.Proc) {
+		f, _ := Create(p, io, "/x", FileOpts{})
+		ds := f.CreateDataset("v", 1600000, 4, 0)
+		if err := ds.ReadRecord(p, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.ReadRecord(p, 4); err == nil {
+			t.Error("out-of-range read accepted")
+		}
+	})
+	if len(io.reads) != 1 {
+		t.Fatalf("%d reads, want 1", len(io.reads))
+	}
+	if io.reads[0].off != 4096+2*1600000 || io.reads[0].n != 1600000 {
+		t.Errorf("read at %d/%d, want record 2", io.reads[0].off, io.reads[0].n)
+	}
+}

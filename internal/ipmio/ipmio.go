@@ -1,0 +1,298 @@
+// Package ipmio is the simulated IPM-I/O layer: it intercepts every
+// POSIX-level I/O call of a task (the stand-in for the GNU linker
+// -wrap interposition on libc), producing timestamped trace events —
+// the call, its arguments, and its duration — with an fd-to-file
+// lookup table, exactly as described in §II-B of the paper.
+//
+// Two collection modes are supported. Trace mode retains every event.
+// Profile mode folds events into online per-operation histograms
+// without retaining the trace — the paper's "future work" transition
+// from an I/O tracing paradigm to an I/O profiling paradigm, which
+// scales the way program-counter profiling does. Both can be active
+// at once, which is how the test suite proves they agree.
+//
+// The simulation runtime is lock-step (one process executes at a
+// time), so a Collector needs no internal locking.
+package ipmio
+
+import (
+	"fmt"
+
+	"ensembleio/internal/ensemble"
+	"ensembleio/internal/posixio"
+	"ensembleio/internal/sim"
+)
+
+// Op identifies the intercepted call.
+type Op uint8
+
+// Intercepted operations.
+const (
+	OpOpen Op = iota
+	OpClose
+	OpRead
+	OpWrite
+	OpSeek
+	OpFsync
+	opCount
+)
+
+var opNames = [...]string{"open", "close", "read", "write", "seek", "fsync"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp is the inverse of Op.String.
+func ParseOp(s string) (Op, bool) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one trace record.
+type Event struct {
+	Rank   int
+	Op     Op
+	FD     int
+	File   string
+	Offset int64 // offset at which the op began
+	Bytes  int64 // bytes moved (0 for open/close/seek/fsync)
+	Start  sim.Time
+	Dur    sim.Duration
+}
+
+// RateMBps returns the event's observed data rate, or 0 for unsized or
+// instantaneous events.
+func (e Event) RateMBps() float64 {
+	if e.Bytes == 0 || e.Dur <= 0 {
+		return 0
+	}
+	return float64(e.Bytes) / 1e6 / float64(e.Dur)
+}
+
+// Mode selects what a Collector retains.
+type Mode uint8
+
+// Collection modes.
+const (
+	TraceMode   Mode = 1 << iota // retain every event
+	ProfileMode                  // fold events into online histograms
+	PatternMode                  // classify access patterns online
+)
+
+// PhaseMark labels a point in time (typically a barrier) so analysis
+// can slice the run into synchronous phases.
+type PhaseMark struct {
+	Name string
+	T    sim.Time
+}
+
+// Collector aggregates events for a whole job (all ranks).
+type Collector struct {
+	mode   Mode
+	Events []Event
+	Marks  []PhaseMark
+
+	durHist  [opCount]*ensemble.Histogram // seconds
+	rateHist [opCount]*ensemble.Histogram // seconds per MB (sized ops)
+
+	patterns *PatternDetector // PatternMode only
+}
+
+// NewCollector returns a collector in the given mode(s).
+func NewCollector(mode Mode) *Collector {
+	c := &Collector{mode: mode}
+	if mode&ProfileMode != 0 {
+		for i := range c.durHist {
+			c.durHist[i] = ensemble.NewHistogram(ensemble.LogBins(1e-5, 1e4, 10))
+			c.rateHist[i] = ensemble.NewHistogram(ensemble.LogBins(1e-6, 1e4, 10))
+		}
+	}
+	if mode&PatternMode != 0 {
+		c.patterns = NewPatternDetector()
+	}
+	return c
+}
+
+// Record folds in one event.
+func (c *Collector) Record(ev Event) {
+	if c.mode&TraceMode != 0 {
+		c.Events = append(c.Events, ev)
+	}
+	if c.mode&ProfileMode != 0 {
+		c.durHist[ev.Op].Add(float64(ev.Dur))
+		if ev.Bytes > 0 && ev.Dur > 0 {
+			c.rateHist[ev.Op].Add(float64(ev.Dur) / (float64(ev.Bytes) / 1e6))
+		}
+	}
+	if c.patterns != nil {
+		c.patterns.Observe(ev)
+	}
+}
+
+// Patterns returns the online pattern detector (PatternMode only; nil
+// otherwise).
+func (c *Collector) Patterns() *PatternDetector { return c.patterns }
+
+// Mark records a phase boundary.
+func (c *Collector) Mark(name string, t sim.Time) {
+	c.Marks = append(c.Marks, PhaseMark{Name: name, T: t})
+}
+
+// DurProfile returns the online duration histogram for op (profile
+// mode only; nil otherwise).
+func (c *Collector) DurProfile(op Op) *ensemble.Histogram {
+	if c.mode&ProfileMode == 0 {
+		return nil
+	}
+	return c.durHist[op]
+}
+
+// RateProfile returns the online sec-per-MB histogram for op (profile
+// mode only; nil otherwise).
+func (c *Collector) RateProfile(op Op) *ensemble.Histogram {
+	if c.mode&ProfileMode == 0 {
+		return nil
+	}
+	return c.rateHist[op]
+}
+
+// Dataset extracts the durations of the traced events accepted by the
+// filter (nil accepts all) as an ensemble.
+func (c *Collector) Dataset(filter func(Event) bool) *ensemble.Dataset {
+	d := ensemble.NewDataset(nil)
+	for _, ev := range c.Events {
+		if filter == nil || filter(ev) {
+			d.Add(float64(ev.Dur))
+		}
+	}
+	return d
+}
+
+// OpEvents returns the traced events of one op type.
+func (c *Collector) OpEvents(op Op) []Event {
+	var out []Event
+	for _, ev := range c.Events {
+		if ev.Op == op {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Tracer wraps one rank's posixio.Task, recording an event per call.
+type Tracer struct {
+	Task *posixio.Task
+	C    *Collector
+}
+
+// NewTracer wraps task, reporting to c.
+func NewTracer(task *posixio.Task, c *Collector) *Tracer {
+	return &Tracer{Task: task, C: c}
+}
+
+func (tr *Tracer) record(p *sim.Proc, op Op, fd int, offset, bytes int64, start sim.Time) {
+	path, _ := tr.Task.Path(fd)
+	tr.C.Record(Event{
+		Rank:   tr.Task.Rank,
+		Op:     op,
+		FD:     fd,
+		File:   path,
+		Offset: offset,
+		Bytes:  bytes,
+		Start:  start,
+		Dur:    p.Now() - start,
+	})
+}
+
+// Open intercepts posixio.Task.Open.
+func (tr *Tracer) Open(p *sim.Proc, path string, flags int) (int, error) {
+	start := p.Now()
+	fd, err := tr.Task.Open(p, path, flags)
+	if err == nil {
+		tr.record(p, OpOpen, fd, 0, 0, start)
+	}
+	return fd, err
+}
+
+// Close intercepts posixio.Task.Close.
+func (tr *Tracer) Close(p *sim.Proc, fd int) error {
+	start := p.Now()
+	path, _ := tr.Task.Path(fd)
+	err := tr.Task.Close(p, fd)
+	if err == nil {
+		tr.C.Record(Event{Rank: tr.Task.Rank, Op: OpClose, FD: fd, File: path, Start: start, Dur: p.Now() - start})
+	}
+	return err
+}
+
+// Read intercepts posixio.Task.Read.
+func (tr *Tracer) Read(p *sim.Proc, fd int, n int64) (int64, error) {
+	start := p.Now()
+	off, _ := tr.Task.Offset(fd)
+	got, err := tr.Task.Read(p, fd, n)
+	if err == nil {
+		tr.record(p, OpRead, fd, off, got, start)
+	}
+	return got, err
+}
+
+// Write intercepts posixio.Task.Write.
+func (tr *Tracer) Write(p *sim.Proc, fd int, n int64) (int64, error) {
+	start := p.Now()
+	off, _ := tr.Task.Offset(fd)
+	got, err := tr.Task.Write(p, fd, n)
+	if err == nil {
+		tr.record(p, OpWrite, fd, off, got, start)
+	}
+	return got, err
+}
+
+// Pread intercepts posixio.Task.Pread.
+func (tr *Tracer) Pread(p *sim.Proc, fd int, offset, n int64) (int64, error) {
+	start := p.Now()
+	got, err := tr.Task.Pread(p, fd, offset, n)
+	if err == nil {
+		tr.record(p, OpRead, fd, offset, got, start)
+	}
+	return got, err
+}
+
+// Pwrite intercepts posixio.Task.Pwrite.
+func (tr *Tracer) Pwrite(p *sim.Proc, fd int, offset, n int64) (int64, error) {
+	start := p.Now()
+	got, err := tr.Task.Pwrite(p, fd, offset, n)
+	if err == nil {
+		tr.record(p, OpWrite, fd, offset, got, start)
+	}
+	return got, err
+}
+
+// Seek intercepts posixio.Task.Seek (zero-duration, still traced: the
+// access pattern matters to diagnosis).
+func (tr *Tracer) Seek(p *sim.Proc, fd int, offset int64, whence int) (int64, error) {
+	start := p.Now()
+	pos, err := tr.Task.Seek(fd, offset, whence)
+	if err == nil {
+		tr.record(p, OpSeek, fd, pos, 0, start)
+	}
+	return pos, err
+}
+
+// Fsync intercepts posixio.Task.Fsync.
+func (tr *Tracer) Fsync(p *sim.Proc, fd int) error {
+	start := p.Now()
+	off, _ := tr.Task.Offset(fd)
+	err := tr.Task.Fsync(p, fd)
+	if err == nil {
+		tr.record(p, OpFsync, fd, off, 0, start)
+	}
+	return err
+}

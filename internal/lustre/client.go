@@ -1,0 +1,292 @@
+package lustre
+
+import (
+	"math"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/flownet"
+	"ensembleio/internal/sim"
+)
+
+// Client is the per-node file-system client: it owns the node's share
+// of the page cache, the write queue, and the flusher that schedules
+// write-back streams onto the node's fabric port.
+//
+// The flusher is the mechanism behind the harmonic mode structure of
+// Figure 1(c): each time the flusher wakes from idle it samples a
+// stream budget of 1, 2, or unlimited concurrent streaming writes
+// (weighted random, per cluster.Profile.SlotWeights) and keeps it for
+// the burst. A task streaming alone receives the node's whole fabric
+// share — the "4R" mode; a pair shares it — "2R"; a full complement
+// produces the fair-share "R" mode. Admission picks queued jobs at
+// random, so which task gets exclusive service re-randomizes every
+// burst and no task is consistently fast or slow, exactly as observed
+// in §III.
+type Client struct {
+	fs   *FS
+	node *cluster.Node
+
+	bigQ       []*writeJob // streaming writes awaiting a slot
+	pumpSet    bool        // a pump event is scheduled
+	slots      int         // admitted-stream budget (0 = resample)
+	activeBig  int         // streaming writes in flight
+	inflightW  int         // write streams currently on the fabric
+	absorbing  int         // writes currently copying into the page cache
+	drain      bool        // a cache write-back stream is in flight
+	drainArmed bool        // a delayed drain is scheduled
+	workGen    int         // bumped on every enqueue; cancels delayed drains
+	rng        *sim.RNG
+}
+
+type writeJob struct {
+	file     *File
+	demandMB float64 // noise-adjusted bytes to move
+	regionMB float64 // original call region size (drives the lock cap)
+	aligned  bool
+	partials int     // partial-stripe RPC count (conflict exposure)
+	luckCap  float64 // OST-luck rate cap (+Inf for a normal draw)
+	wake     func()
+}
+
+func newClient(fs *FS, n *cluster.Node) *Client {
+	return &Client{fs: fs, node: n, rng: fs.rng.Fork(int64(n.ID) + 1)}
+}
+
+// Node returns the compute node this client runs on.
+func (c *Client) Node() *cluster.Node { return c.node }
+
+// Write performs one POSIX-level write of length bytes at offset and
+// returns the call duration. Large contiguous regions are absorbed
+// into the page cache while room remains (write-back); the remainder
+// — and all fine-grained shared-file writes — move synchronously
+// through the flusher.
+func (c *Client) Write(p *sim.Proc, f *File, offset, length int64) sim.Duration {
+	start := p.Now()
+	prof := c.fs.Cl.Prof
+	sizeMB := mb(length)
+	aligned := f.Layout.Aligned(offset, length)
+
+	syncMB := sizeMB
+	if sizeMB >= prof.CacheBypassBelowMB {
+		// Each task's write absorbs into cache up to its per-task
+		// dirty grant (the node budget split across cores), so
+		// co-located tasks burst into cache concurrently.
+		grant := prof.DirtyLimitMB
+		if prof.CoresPerNode > 0 {
+			grant /= float64(prof.CoresPerNode)
+		}
+		absorb := minf(grant, minf(c.node.DirtyRoomMB(), sizeMB))
+		if absorb > 0 {
+			c.fs.stats.AbsorbedMB += absorb
+			c.node.DirtyMB += absorb
+			if prof.AbsorbMBps > 0 {
+				c.absorbing++
+				p.Sleep(sim.Duration(absorb / prof.AbsorbMBps))
+				c.absorbing--
+			}
+			syncMB -= absorb
+		}
+	}
+
+	if syncMB > 1e-12 {
+		job := &writeJob{
+			file:     f,
+			demandMB: syncMB * c.fs.Cl.ServiceNoise(),
+			regionMB: sizeMB,
+			aligned:  aligned,
+			partials: f.Layout.PartialRPCs(offset, length),
+			luckCap:  c.fs.Cl.StreamLuck(),
+			wake:     p.Block(),
+		}
+		c.fs.activeWriteJobs++
+		f.activeWriters++
+		c.fs.stats.WriteJobs++
+		c.fs.stats.WriteMB += syncMB
+		if !math.IsInf(job.luckCap, 1) {
+			c.fs.stats.LuckCapped++
+		}
+		c.workGen++
+		c.bigQ = append(c.bigQ, job)
+		c.pump()
+		p.Park()
+	}
+
+	f.extend(offset + length)
+	return p.Now() - start
+}
+
+// pump schedules the dispatch pass. Dispatch is deferred to a fresh
+// event at the current time so that every same-instant enqueue (e.g.
+// all ranks leaving a barrier) lands in the queue before admission
+// decisions and contention counts are taken.
+func (c *Client) pump() {
+	if c.pumpSet {
+		return
+	}
+	c.pumpSet = true
+	c.fs.Cl.Eng.At(c.fs.Cl.Eng.Now(), func() {
+		c.pumpSet = false
+		c.dispatch()
+	})
+}
+
+func (c *Client) dispatch() {
+	prof := c.fs.Cl.Prof
+
+	// Greedy lane: small writes are latency/lock-bound, not streaming-
+	// bound, and luck-capped writes are stalled on a congested OST —
+	// neither should hold a streaming slot.
+	kept := c.bigQ[:0]
+	var small []*writeJob
+	for _, j := range c.bigQ {
+		if j.regionMB < prof.SlotMinMB || !math.IsInf(j.luckCap, 1) {
+			small = append(small, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(c.bigQ); i++ {
+		c.bigQ[i] = nil
+	}
+	c.bigQ = kept
+	for _, j := range small {
+		c.launch(j, nil)
+	}
+
+	// Slot lane. The stream budget is resampled whenever the flusher
+	// goes fully idle (in synchronous workloads: once per phase per
+	// node); while work is pending, completed streams immediately
+	// refill their slot with a randomly chosen queued job. Random
+	// admission re-randomizes which task gets the exclusive-stream
+	// service, so no task is consistently fast or slow.
+	if len(c.bigQ) == 0 {
+		if c.activeBig == 0 {
+			c.slots = 0 // resample at next burst
+			c.maybeDrain()
+		}
+		return
+	}
+	if c.slots == 0 {
+		switch c.rng.Choose(prof.SlotWeights[:]) {
+		case 0:
+			c.slots = 1
+		case 1:
+			c.slots = 2
+		default:
+			c.slots = 1 << 30 // "all": pure fair share
+		}
+	}
+	for c.activeBig < c.slots && len(c.bigQ) > 0 {
+		i := c.rng.Intn(len(c.bigQ))
+		j := c.bigQ[i]
+		c.bigQ[i] = c.bigQ[len(c.bigQ)-1]
+		c.bigQ[len(c.bigQ)-1] = nil
+		c.bigQ = c.bigQ[:len(c.bigQ)-1]
+		c.activeBig++
+		c.launch(j, func() {
+			c.activeBig--
+			c.pump()
+		})
+	}
+}
+
+// launch starts the fabric stream for a write job. onDone (if any)
+// runs after the job completes, in addition to waking the writer.
+func (c *Client) launch(j *writeJob, onDone func()) {
+	capMBps := minf(c.fs.writeCapMBps(j.file, j.regionMB, j.aligned), j.luckCap)
+	c.inflightW++
+	start := func() {
+		c.node.Port.Start(j.demandMB, flownet.StreamOpts{
+			RateCap: capMBps,
+			Done: func() {
+				c.inflightW--
+				c.fs.activeWriteJobs--
+				j.file.activeWriters--
+				j.wake()
+				if onDone != nil {
+					onDone()
+				}
+				// Every completion pumps: a greedy-lane job may be the
+				// last writer, and the idle drain must still arm.
+				c.pump()
+			},
+		})
+	}
+	if delay := c.fs.conflictDelay(j.file, j.partials); delay > 0 {
+		c.fs.Cl.Eng.After(delay, start)
+	} else {
+		start()
+	}
+}
+
+// WriteBusy reports whether any application write is queued or in
+// flight on this node — the interleaved-write condition that lets the
+// strided read-ahead defect strike (cache write-back drains do not
+// count; they release, not consume, memory).
+func (c *Client) WriteBusy() bool {
+	return len(c.bigQ) > 0 || c.inflightW > 0 || c.absorbing > 0
+}
+
+// maybeDrain arms a delayed write-back of dirty cache. Lustre clients
+// keep dirty pages until a flush timer or memory pressure forces
+// write-back, so short barrier waits between phases do NOT clean the
+// cache — the persistence that keeps memory pressure high across the
+// MADbench W phase. The drain starts only after the flusher has been
+// idle for DrainIdleDelaySec; any new write cancels it.
+func (c *Client) maybeDrain() {
+	if c.drain || c.drainArmed || c.activeBig > 0 || len(c.bigQ) > 0 || c.node.DirtyMB <= 0 {
+		return
+	}
+	c.drainArmed = true
+	gen := c.workGen
+	delay := sim.Duration(c.fs.Cl.Prof.DrainIdleDelaySec)
+	c.fs.Cl.Eng.After(delay, func() {
+		c.drainArmed = false
+		if c.workGen == gen && c.activeBig == 0 && !c.drain && len(c.bigQ) == 0 {
+			c.startDrain()
+			return
+		}
+		// The idle window was interrupted. If the interrupting write
+		// has already completed, restart the idle timer now —
+		// otherwise its completion pump would find drainArmed still
+		// set and the drain would never re-arm.
+		c.maybeDrain()
+	})
+}
+
+// startDrain immediately writes back one chunk of dirty cache.
+func (c *Client) startDrain() {
+	if c.drain || c.node.DirtyMB <= 0 {
+		return
+	}
+	chunk := minf(c.node.DirtyMB, c.fs.Cl.Prof.DrainChunkMB)
+	c.fs.stats.DrainChunks++
+	c.drain = true
+	c.node.Port.Start(chunk, flownet.StreamOpts{
+		Done: func() {
+			c.node.DirtyMB -= chunk
+			if c.node.DirtyMB < 0 {
+				c.node.DirtyMB = 0
+			}
+			c.drain = false
+			// Keep draining until work arrives or the cache is clean.
+			if c.activeBig == 0 && len(c.bigQ) == 0 {
+				c.startDrain()
+			}
+		},
+	})
+}
+
+// Fsync blocks until the node's cache holds no dirty data and no write
+// jobs remain queued or in flight for this client. Unlike the idle
+// drain, fsync forces immediate write-back.
+func (c *Client) Fsync(p *sim.Proc) sim.Duration {
+	start := p.Now()
+	for c.node.DirtyMB > 0 || len(c.bigQ) > 0 || c.activeBig > 0 || c.drain {
+		if !c.drain && c.activeBig == 0 && len(c.bigQ) == 0 {
+			c.startDrain()
+		}
+		p.Sleep(0.01)
+	}
+	return p.Now() - start
+}

@@ -1,0 +1,198 @@
+package lustre
+
+import (
+	"fmt"
+	"math"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/sim"
+)
+
+// FS is one mounted parallel file system instance on a cluster. It
+// owns the namespace, the per-node clients, the metadata service, and
+// the shared-file contention state.
+type FS struct {
+	Cl      *cluster.Cluster
+	files   map[string]*File
+	clients []*Client
+
+	mds sim.Semaphore // serializes metadata-path operations
+
+	// activeWriteJobs counts write jobs that are queued or in flight
+	// file-system-wide; it drives the writers-per-OST extent-lock
+	// contention term.
+	activeWriteJobs int
+
+	rng   *sim.RNG
+	stats Stats
+
+	// OnPathology, when set, is called for every read that takes the
+	// degenerate page-read path (diagnostics and tests).
+	OnPathology func(nodeID int, t sim.Time, dirtyMB float64)
+}
+
+// NewFS mounts a file system on the cluster with one client per node.
+func NewFS(cl *cluster.Cluster) *FS {
+	fs := &FS{
+		Cl:    cl,
+		files: make(map[string]*File),
+		rng:   cl.RNG.Fork(0x10f5),
+	}
+	conc := cl.Prof.MDSConcurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	fs.mds = *sim.NewSemaphore(conc)
+	for _, n := range cl.Nodes {
+		fs.clients = append(fs.clients, newClient(fs, n))
+	}
+	return fs
+}
+
+// File is a file in the simulated namespace. Contents are not stored;
+// only the extent (size) matters to the model.
+type File struct {
+	Name   string
+	Size   int64
+	Layout Layout
+
+	// activeWriters counts write jobs queued or in flight against
+	// this file; extent-lock contention is a per-file phenomenon
+	// (writers of different files never share locks).
+	activeWriters int
+}
+
+// ActiveWriters reports this file's queued or in-flight write jobs.
+func (f *File) ActiveWriters() int { return f.activeWriters }
+
+// Create creates (or truncates) a file with the default layout:
+// 1 MB stripes over all OSTs.
+func (fs *FS) Create(name string) *File {
+	f := &File{
+		Name: name,
+		Layout: Layout{
+			StripeBytes: int64(fs.Cl.Prof.StripeMB * 1e6),
+			Count:       fs.Cl.Prof.OSTs,
+		},
+	}
+	fs.files[name] = f
+	return f
+}
+
+// Lookup returns the named file, or nil if it does not exist.
+func (fs *FS) Lookup(name string) *File { return fs.files[name] }
+
+// ClientFor returns the client on the given node.
+func (fs *FS) ClientFor(n *cluster.Node) *Client { return fs.clients[n.ID] }
+
+// ActiveWriters reports the file-system-wide count of queued or
+// in-flight write jobs.
+func (fs *FS) ActiveWriters() int { return fs.activeWriteJobs }
+
+// writersPerOST is the contention density used by the extent-lock
+// cap: the FILE's concurrent writers spread over its stripe targets.
+// Writers of different files never contend for extent locks, so a
+// file-per-process workload sees no penalty at any scale.
+func (fs *FS) writersPerOST(f *File) float64 {
+	osts := f.Layout.Count
+	if osts <= 0 {
+		osts = fs.Cl.Prof.OSTs
+	}
+	w := float64(f.activeWriters) / float64(osts)
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// writeCapMBps returns the per-stream rate cap for one write job of
+// regionMB megabytes. Contention grows with concurrent writers per
+// OST; small interleaved regions are penalized because their extent
+// locks bounce between clients; unaligned writes additionally pay the
+// partial-stripe penalty.
+func (fs *FS) writeCapMBps(f *File, regionMB float64, aligned bool) float64 {
+	prof := fs.Cl.Prof
+	w := fs.writersPerOST(f)
+	cap := prof.LockCapMBps * (regionMB / prof.StripeMB) / math.Pow(w, prof.LockGamma)
+	if !aligned {
+		cap /= prof.UnalignedPenalty
+	}
+	return cap
+}
+
+// conflictDelay draws the extent-lock conflict stall for a write with
+// the given number of partial-stripe RPCs: zero for aligned writes,
+// and usually zero otherwise; with the contention-scaled probability,
+// a per-partial-RPC stall (the Figure 6(f) bulge).
+func (fs *FS) conflictDelay(f *File, partialRPCs int) sim.Duration {
+	if partialRPCs <= 0 {
+		return 0
+	}
+	prof := fs.Cl.Prof
+	w := fs.writersPerOST(f)
+	p := minf(prof.ConflictProbMax, prof.ConflictProbPerWriterPerOST*w*w)
+	if p <= 0 || !fs.rng.Bernoulli(p) {
+		return 0
+	}
+	fs.stats.Conflicts++
+	return sim.Duration(float64(partialRPCs) * fs.rng.Uniform(prof.ConflictDelayLoSec, prof.ConflictDelayHiSec))
+}
+
+// MDSOp performs one serialized metadata-path operation (file open,
+// close, attribute update). Operations queue behind each other
+// file-system-wide.
+func (fs *FS) MDSOp(p *sim.Proc, payloadBytes int64) sim.Duration {
+	return fs.mdsOp(p, payloadBytes, 0)
+}
+
+func (fs *FS) mdsOp(p *sim.Proc, payloadBytes int64, extraSlow sim.Duration) sim.Duration {
+	fs.stats.MDSOps++
+	start := p.Now()
+	fs.mds.Acquire(p)
+	prof := fs.Cl.Prof
+	lat := prof.MDSBaseLatency
+	if payloadBytes > 0 && prof.SmallIORateMBps > 0 {
+		lat += sim.Duration(mb(payloadBytes) / prof.SmallIORateMBps)
+	}
+	lat *= sim.Duration(fs.Cl.RNG.Lognormal(0, 0.25))
+	p.Sleep(lat + extraSlow)
+	fs.mds.Release()
+	return p.Now() - start
+}
+
+// SmallWrite writes payloadBytes at offset through the metadata/small-
+// I/O path (serialized), extending the file. Used for sub-threshold
+// writes such as HDF5 metadata. Beyond the base latency, the op can
+// hit a slow lock-revocation stall; page-aligned metadata blocks
+// (whole 4 kB pages at page offsets, as an alignment-tuned HDF5
+// emits) avoid the read-modify-write lock bounce and see the stall
+// probability and span damped by AlignedMetaRelief.
+func (fs *FS) SmallWrite(p *sim.Proc, f *File, offset, payloadBytes int64) sim.Duration {
+	const page = 4096
+	prof := fs.Cl.Prof
+	slowProb := prof.MDSSlowProb
+	lo, hi := prof.MDSSlowLoSec, prof.MDSSlowHiSec
+	if offset%page == 0 && payloadBytes%page == 0 && prof.AlignedMetaRelief > 0 {
+		slowProb *= prof.AlignedMetaRelief
+		hi = lo + (hi-lo)*prof.AlignedMetaRelief
+	}
+	var extra sim.Duration
+	if slowProb > 0 && fs.rng.Bernoulli(slowProb) {
+		extra = sim.Duration(fs.rng.Uniform(lo, hi))
+		fs.stats.MDSSlowOps++
+	}
+	fs.stats.SmallWrites++
+	d := fs.mdsOp(p, payloadBytes, extra)
+	f.extend(offset + payloadBytes)
+	return d
+}
+
+func (f *File) extend(to int64) {
+	if to > f.Size {
+		f.Size = to
+	}
+}
+
+func (f *File) String() string {
+	return fmt.Sprintf("%s(%d bytes, stripe=%d x %d)", f.Name, f.Size, f.Layout.StripeBytes, f.Layout.Count)
+}

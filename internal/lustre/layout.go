@@ -1,0 +1,95 @@
+// Package lustre simulates the behaviourally relevant parts of a
+// Lustre-like striped parallel file system: a striped object store
+// whose aggregate bandwidth is shared through the cluster fabric, a
+// per-node client with write-back caching and a stream-scheduling
+// flusher, an extent-lock contention model for shared-file writes, a
+// metadata path that serializes small operations, and a read-ahead
+// state machine that includes the strided-detection defect isolated in
+// §IV of the paper (and the patch that removes it).
+package lustre
+
+import "math"
+
+// Layout describes the striping of a file. StripeBytes is the stripe
+// (and RPC) size; Count the number of OSTs the file is striped over.
+type Layout struct {
+	StripeBytes int64
+	Count       int
+}
+
+// Aligned reports whether a write of length bytes at the given offset
+// is stripe-aligned: it starts on a stripe boundary and occupies whole
+// stripes. Aligned writes map to full-stripe RPCs that never share an
+// extent lock with a neighbouring client's region.
+func (l Layout) Aligned(offset, length int64) bool {
+	if l.StripeBytes <= 0 {
+		return true
+	}
+	return offset%l.StripeBytes == 0 && length%l.StripeBytes == 0
+}
+
+// RPCs returns the number of stripe-sized RPCs needed to move length
+// bytes starting at offset, counting partial leading/trailing stripes.
+func (l Layout) RPCs(offset, length int64) int {
+	if length <= 0 {
+		return 0
+	}
+	if l.StripeBytes <= 0 {
+		return 1
+	}
+	first := offset / l.StripeBytes
+	last := (offset + length - 1) / l.StripeBytes
+	return int(last - first + 1)
+}
+
+// PartialRPCs counts the partial-stripe RPCs of the extent (0, 1 or
+// 2: a misaligned leading edge and/or a misaligned trailing edge).
+func (l Layout) PartialRPCs(offset, length int64) int {
+	if length <= 0 || l.StripeBytes <= 0 {
+		return 0
+	}
+	n := l.RPCs(offset, length)
+	partial := 0
+	if offset%l.StripeBytes != 0 {
+		partial++
+	}
+	if (offset+length)%l.StripeBytes != 0 {
+		partial++
+	}
+	if partial > n {
+		partial = n
+	}
+	return partial
+}
+
+// PartialRPCFraction returns the fraction of the RPCs for this extent
+// that are partial-stripe (carry less than a full stripe of payload).
+func (l Layout) PartialRPCFraction(offset, length int64) float64 {
+	n := l.RPCs(offset, length)
+	if n == 0 {
+		return 0
+	}
+	partial := 0
+	if offset%l.StripeBytes != 0 {
+		partial++
+	}
+	if (offset+length)%l.StripeBytes != 0 {
+		end := (offset + length - 1) / l.StripeBytes
+		start := offset / l.StripeBytes
+		// Only count the trailing stripe separately when it is a
+		// different stripe from the leading one.
+		if end != start || offset%l.StripeBytes == 0 {
+			partial++
+		}
+	}
+	if partial > n {
+		partial = n
+	}
+	return float64(partial) / float64(n)
+}
+
+// mb converts bytes to megabytes (10^6-based MB to match the paper's
+// MB/s reporting).
+func mb(bytes int64) float64 { return float64(bytes) / 1e6 }
+
+func minf(a, b float64) float64 { return math.Min(a, b) }

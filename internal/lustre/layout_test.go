@@ -1,0 +1,79 @@
+package lustre
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAligned(t *testing.T) {
+	l := Layout{StripeBytes: 1 << 20, Count: 48}
+	cases := []struct {
+		off, len int64
+		want     bool
+	}{
+		{0, 1 << 20, true},
+		{0, 2 << 20, true},
+		{1 << 20, 1 << 20, true},
+		{0, 1600000, false},       // 1.6 MB record: not whole stripes
+		{1600000, 1600000, false}, // unaligned offset
+		{2 << 20, 1 << 19, false}, // half-stripe length
+		{512, 1 << 20, false},     // unaligned start
+		{0, 0, true},
+	}
+	for _, tc := range cases {
+		if got := l.Aligned(tc.off, tc.len); got != tc.want {
+			t.Errorf("Aligned(%d,%d) = %v, want %v", tc.off, tc.len, got, tc.want)
+		}
+	}
+}
+
+func TestRPCs(t *testing.T) {
+	l := Layout{StripeBytes: 1 << 20, Count: 48}
+	cases := []struct {
+		off, len int64
+		want     int
+	}{
+		{0, 1 << 20, 1},
+		{0, 2 << 20, 2},
+		{512, 1 << 20, 2},     // straddles one boundary
+		{1600000, 1600000, 3}, // 1.6 MB at 1.6 MB offset straddles
+		{0, 1, 1},
+		{0, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := l.RPCs(tc.off, tc.len); got != tc.want {
+			t.Errorf("RPCs(%d,%d) = %d, want %d", tc.off, tc.len, got, tc.want)
+		}
+	}
+}
+
+func TestPartialRPCFraction(t *testing.T) {
+	l := Layout{StripeBytes: 1 << 20, Count: 48}
+	if f := l.PartialRPCFraction(0, 4<<20); f != 0 {
+		t.Errorf("aligned write partial fraction %v, want 0", f)
+	}
+	if f := l.PartialRPCFraction(512, 4<<20); f <= 0 {
+		t.Errorf("unaligned write partial fraction %v, want > 0", f)
+	}
+	if f := l.PartialRPCFraction(512, 1024); f != 1 {
+		t.Errorf("tiny interior write partial fraction %v, want 1", f)
+	}
+}
+
+// Property: RPC count is consistent with the extent size — never fewer
+// than ceil(len/stripe), never more than that plus one.
+func TestRPCsProperty(t *testing.T) {
+	l := Layout{StripeBytes: 1 << 20, Count: 48}
+	f := func(off uint32, length uint32) bool {
+		o, n := int64(off), int64(length)
+		if n == 0 {
+			return l.RPCs(o, n) == 0
+		}
+		got := int64(l.RPCs(o, n))
+		min := (n + l.StripeBytes - 1) / l.StripeBytes
+		return got >= min && got <= min+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package lustre
+
+import "fmt"
+
+// Stats is a snapshot of file-system-wide counters: what the servers
+// saw, as opposed to what the application traced. Comparing the two
+// views (e.g. pathological reads vs slow trace events) is how the
+// paper's Lustre engineers confirmed the read-ahead diagnosis.
+type Stats struct {
+	// Data-path traffic.
+	WriteJobs   int64   // write jobs dispatched (sync portions)
+	WriteMB     float64 // megabytes moved by write jobs
+	ReadCalls   int64   // read calls served
+	ReadMB      float64 // megabytes moved by reads
+	AbsorbedMB  float64 // megabytes absorbed into page caches
+	DrainChunks int64   // background write-back chunks
+
+	// Contention events.
+	Conflicts         int64 // extent-lock conflict stalls
+	PathologicalReads int64 // reads that degenerated to page RPCs
+	LuckCapped        int64 // transfers pinned to a congested-OST rate
+
+	// Metadata path.
+	MDSOps      int64 // serialized metadata operations
+	SmallWrites int64 // sub-threshold writes routed via the MDS
+	MDSSlowOps  int64 // small writes that hit the lock-revocation stall
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"writes=%d (%.0f MB, %.0f MB absorbed, %d drains) reads=%d (%.0f MB) conflicts=%d patho=%d luck=%d mds=%d small=%d slow=%d",
+		s.WriteJobs, s.WriteMB, s.AbsorbedMB, s.DrainChunks,
+		s.ReadCalls, s.ReadMB,
+		s.Conflicts, s.PathologicalReads, s.LuckCapped,
+		s.MDSOps, s.SmallWrites, s.MDSSlowOps)
+}
+
+// Stats returns the current counter snapshot.
+func (fs *FS) Stats() Stats { return fs.stats }

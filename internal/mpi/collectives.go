@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ensembleio/internal/sim"
+)
+
+// Additional collectives beyond Barrier/Gather: reductions, allgather
+// and scatter, with log-tree latency plus bandwidth cost models. These
+// round out the runtime for workloads beyond the paper's three (e.g.
+// aggregating statistics inside a simulated application).
+
+// collState is the rendezvous scratch for one in-flight collective on
+// a communicator. Collectives on one communicator must not interleave
+// (as in MPI, where collective calls are ordered per communicator).
+type collState struct {
+	count  int
+	vals   []interface{}
+	result interface{}
+	gen    int
+	q      sim.WaitQueue
+}
+
+func (c *Comm) coll() *collState {
+	if c.collSt == nil {
+		c.collSt = &collState{vals: make([]interface{}, len(c.ranks))}
+	}
+	return c.collSt
+}
+
+// runCollective deposits this rank's value, blocks until all members
+// have arrived, lets `combine` run once on the full slot array, and
+// returns the combined result to every member.
+func (c *Comm) runCollective(r *Rank, value interface{}, combine func(vals []interface{}) interface{}) interface{} {
+	me := c.CommRank(r)
+	st := c.coll()
+	gen := st.gen
+	st.vals[me] = value
+	st.count++
+	if st.count == len(c.ranks) {
+		st.result = combine(st.vals)
+		st.count = 0
+		st.gen++
+		st.q.WakeAll()
+	} else {
+		for st.gen == gen {
+			st.q.Wait(r.P)
+		}
+	}
+	return st.result
+}
+
+// ReduceOp combines two float64 contributions.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce combines every member's value with op and returns the
+// result to all members. n is the per-member payload size used for
+// the cost model.
+func (c *Comm) Allreduce(r *Rank, n int64, value float64, op ReduceOp) float64 {
+	res := c.runCollective(r, value, func(vals []interface{}) interface{} {
+		acc := vals[0].(float64)
+		for _, v := range vals[1:] {
+			acc = op(acc, v.(float64))
+		}
+		return acc
+	})
+	// Reduce + broadcast trees.
+	r.P.Sleep(2 * c.treeLatency())
+	r.P.Sleep(sim.Duration(float64(n) / 1e6 / c.w.cfg.LinkMBps))
+	return res.(float64)
+}
+
+// Reduce combines every member's value at the communicator root (comm
+// rank 0); only the root receives the result (ok=true at the root).
+func (c *Comm) Reduce(r *Rank, n int64, value float64, op ReduceOp) (result float64, ok bool) {
+	res := c.runCollective(r, value, func(vals []interface{}) interface{} {
+		acc := vals[0].(float64)
+		for _, v := range vals[1:] {
+			acc = op(acc, v.(float64))
+		}
+		return acc
+	})
+	r.P.Sleep(c.treeLatency())
+	r.P.Sleep(sim.Duration(float64(n) / 1e6 / c.w.cfg.LinkMBps))
+	if c.CommRank(r) == 0 {
+		return res.(float64), true
+	}
+	return 0, false
+}
+
+// Allgather returns every member's payload, in comm-rank order, to
+// every member. n is the per-member payload size.
+func (c *Comm) Allgather(r *Rank, n int64, payload interface{}) []interface{} {
+	res := c.runCollective(r, payload, func(vals []interface{}) interface{} {
+		return append([]interface{}(nil), vals...)
+	})
+	// Each member ships n and receives (size-1)*n.
+	total := float64(n) * float64(len(c.ranks)-1)
+	r.P.Sleep(c.treeLatency())
+	r.P.Sleep(sim.Duration(total / 1e6 / c.w.cfg.LinkMBps))
+	return res.([]interface{})
+}
+
+// Scatter distributes the root's per-member slices: the root (comm
+// rank 0) passes values (one per member, in comm-rank order) and every
+// member receives its element. n is the per-member payload size.
+func (c *Comm) Scatter(r *Rank, n int64, values []interface{}) interface{} {
+	me := c.CommRank(r)
+	if me == 0 && len(values) != len(c.ranks) {
+		panic(fmt.Sprintf("mpi: Scatter root provided %d values for %d members", len(values), len(c.ranks)))
+	}
+	var in interface{}
+	if me == 0 {
+		in = values
+	}
+	res := c.runCollective(r, in, func(vals []interface{}) interface{} {
+		return vals[0] // the root's slice
+	})
+	r.P.Sleep(c.treeLatency())
+	r.P.Sleep(sim.Duration(float64(n) / 1e6 / c.w.cfg.LinkMBps))
+	return res.([]interface{})[me]
+}

@@ -1,0 +1,310 @@
+package mpi
+
+import (
+	"testing"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/sim"
+)
+
+func testWorld(t *testing.T, size int) (*sim.Engine, *World) {
+	t.Helper()
+	eng := sim.NewEngine()
+	prof := cluster.Franklin()
+	prof.BackgroundMeanMBps = 0
+	nodes := (size + prof.CoresPerNode - 1) / prof.CoresPerNode
+	cl := cluster.New(eng, prof, nodes, 1)
+	return eng, NewWorld(eng, cl, size, Config{})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	eng, w := testWorld(t, 8)
+	var releases []sim.Time
+	w.Launch(func(r *Rank) {
+		r.P.Sleep(sim.Time(r.ID)) // staggered arrivals 0..7s
+		r.Barrier()
+		releases = append(releases, r.P.Now())
+	})
+	eng.Run()
+	if len(releases) != 8 {
+		t.Fatalf("%d ranks released, want 8", len(releases))
+	}
+	for _, ts := range releases {
+		if ts < 7 || ts > 7.001 {
+			t.Errorf("release at %v, want ~7s (last arrival)", ts)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	count := 0
+	w.Launch(func(r *Rank) {
+		for i := 0; i < 5; i++ {
+			r.P.Sleep(sim.Time(r.ID) * 0.1)
+			r.Barrier()
+		}
+		count++
+	})
+	eng.Run()
+	if count != 4 {
+		t.Errorf("%d ranks completed 5 barriers, want 4", count)
+	}
+}
+
+func TestSendRecvDeliversPayloadInOrder(t *testing.T) {
+	eng, w := testWorld(t, 2)
+	var got []int
+	w.Launch(func(r *Rank) {
+		if r.ID == 0 {
+			for i := 0; i < 3; i++ {
+				r.Send(1, 5, 1000, i)
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				_, pl := r.Recv(0, 5)
+				got = append(got, pl.(int))
+			}
+		}
+	})
+	eng.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("received %v, want [0 1 2]", got)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	eng, w := testWorld(t, 2)
+	var recvAt sim.Time
+	w.Launch(func(r *Rank) {
+		if r.ID == 0 {
+			r.P.Sleep(2)
+			r.Send(1, 1, 10, "x")
+		} else {
+			r.Recv(0, 1)
+			recvAt = r.P.Now()
+		}
+	})
+	eng.Run()
+	if recvAt < 2 {
+		t.Errorf("recv completed at %v, want >= 2 (after send)", recvAt)
+	}
+}
+
+func TestSendCostScalesWithBytes(t *testing.T) {
+	eng, w := testWorld(t, 2)
+	var sendDur sim.Duration
+	w.Launch(func(r *Rank) {
+		if r.ID == 0 {
+			start := r.P.Now()
+			r.Send(1, 2, 1600e6, nil) // 1600 MB over a 1600 MB/s link ~ 1s
+			sendDur = r.P.Now() - start
+		} else {
+			r.Recv(0, 2)
+		}
+	})
+	eng.Run()
+	if sendDur < 0.9 || sendDur > 1.1 {
+		t.Errorf("1600MB send took %v, want ~1s", sendDur)
+	}
+}
+
+func TestGatherCollectsInCommOrder(t *testing.T) {
+	eng, w := testWorld(t, 8)
+	comm := w.NewComm([]int{4, 5, 6, 7}) // root is world rank 4
+	var got []interface{}
+	w.Launch(func(r *Rank) {
+		if r.ID < 4 {
+			return
+		}
+		res := comm.Gather(r, 1000, r.ID*10)
+		if comm.CommRank(r) == 0 {
+			got = res
+		} else if res != nil {
+			t.Errorf("non-root got non-nil gather result")
+		}
+	})
+	eng.Run()
+	if len(got) != 4 {
+		t.Fatalf("gather result len %d, want 4", len(got))
+	}
+	for i, v := range got {
+		if v.(int) != (i+4)*10 {
+			t.Errorf("gather[%d] = %v, want %d", i, v, (i+4)*10)
+		}
+	}
+}
+
+func TestSubCommBarrierIndependent(t *testing.T) {
+	eng, w := testWorld(t, 8)
+	evens := w.NewComm([]int{0, 2, 4, 6})
+	done := 0
+	w.Launch(func(r *Rank) {
+		if r.ID%2 == 0 {
+			evens.Barrier(r)
+			done++
+		}
+		// Odd ranks never arrive; the even barrier must not hang.
+	})
+	eng.Run()
+	if done != 4 {
+		t.Errorf("%d even ranks passed the sub-barrier, want 4", done)
+	}
+}
+
+func TestCommRankPanicsForNonMember(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{0, 1})
+	w.Launch(func(r *Rank) {
+		if r.ID == 3 {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for non-member CommRank")
+				}
+			}()
+			comm.CommRank(r)
+		}
+	})
+	eng.Run()
+}
+
+func TestRankPlacement(t *testing.T) {
+	_, w := testWorld(t, 8)
+	if w.Rank(0).Node.ID != 0 || w.Rank(3).Node.ID != 0 || w.Rank(4).Node.ID != 1 {
+		t.Errorf("block placement wrong: ranks 0,3 -> node %d,%d; rank 4 -> node %d",
+			w.Rank(0).Node.ID, w.Rank(3).Node.ID, w.Rank(4).Node.ID)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	eng, w := testWorld(t, 8)
+	comm := w.NewComm([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	results := make([]float64, 8)
+	w.Launch(func(r *Rank) {
+		results[r.ID] = comm.Allreduce(r, 8, float64(r.ID), OpSum)
+	})
+	eng.Run()
+	for i, v := range results {
+		if v != 28 { // 0+1+...+7
+			t.Errorf("rank %d allreduce = %v, want 28", i, v)
+		}
+	}
+}
+
+func TestReduceOnlyRootGetsResult(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{0, 1, 2, 3})
+	var rootVal float64
+	roots := 0
+	w.Launch(func(r *Rank) {
+		v, ok := comm.Reduce(r, 8, float64(r.ID+1), OpMax)
+		if ok {
+			roots++
+			rootVal = v
+		}
+	})
+	eng.Run()
+	if roots != 1 {
+		t.Fatalf("%d roots got a result, want 1", roots)
+	}
+	if rootVal != 4 {
+		t.Errorf("max reduce = %v, want 4", rootVal)
+	}
+}
+
+func TestAllgatherOrder(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{3, 2, 1, 0}) // reversed comm order
+	var got []interface{}
+	w.Launch(func(r *Rank) {
+		res := comm.Allgather(r, 8, r.ID*100)
+		if r.ID == 0 {
+			got = res
+		}
+	})
+	eng.Run()
+	want := []int{300, 200, 100, 0} // comm-rank order
+	for i, v := range got {
+		if v.(int) != want[i] {
+			t.Errorf("allgather[%d] = %v, want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{0, 1, 2, 3})
+	results := make([]int, 4)
+	w.Launch(func(r *Rank) {
+		var vals []interface{}
+		if r.ID == 0 {
+			vals = []interface{}{10, 11, 12, 13}
+		}
+		results[r.ID] = comm.Scatter(r, 8, vals).(int)
+	})
+	eng.Run()
+	for i, v := range results {
+		if v != 10+i {
+			t.Errorf("rank %d scatter = %d, want %d", i, v, 10+i)
+		}
+	}
+}
+
+func TestCollectivesReusable(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{0, 1, 2, 3})
+	sums := make([]float64, 4)
+	w.Launch(func(r *Rank) {
+		for round := 0; round < 5; round++ {
+			sums[r.ID] += comm.Allreduce(r, 8, 1, OpSum)
+		}
+	})
+	eng.Run()
+	for i, v := range sums {
+		if v != 20 { // 5 rounds x sum(1x4)
+			t.Errorf("rank %d accumulated %v, want 20", i, v)
+		}
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	if OpSum(2, 3) != 5 || OpMax(2, 3) != 3 || OpMin(2, 3) != 2 {
+		t.Error("reduce op definitions wrong")
+	}
+}
+
+func TestBcastReleasesAll(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{0, 1, 2, 3})
+	var done int
+	w.Launch(func(r *Rank) {
+		r.P.Sleep(sim.Time(r.ID)) // staggered arrival
+		comm.Bcast(r, 0, 1024)
+		if r.P.Now() < 3 {
+			t.Errorf("rank %d released at %v before last arrival", r.ID, r.P.Now())
+		}
+		done++
+	})
+	eng.Run()
+	if done != 4 {
+		t.Errorf("%d ranks completed bcast, want 4", done)
+	}
+}
+
+func TestGatherVolumeCostsRootTime(t *testing.T) {
+	eng, w := testWorld(t, 4)
+	comm := w.NewComm([]int{0, 1, 2, 3})
+	var rootDur sim.Duration
+	w.Launch(func(r *Rank) {
+		start := r.P.Now()
+		comm.Gather(r, 1600e6, nil) // 1.6 GB per member
+		if comm.CommRank(r) == 0 {
+			rootDur = r.P.Now() - start
+		}
+	})
+	eng.Run()
+	// Root drains 3 x 1.6 GB at 1600 MB/s: >= 3 s.
+	if rootDur < 3 {
+		t.Errorf("root gather took %v, want >= 3s of incast drain", rootDur)
+	}
+}

@@ -1,0 +1,195 @@
+// Package report renders the paper's tables and figures as terminal
+// text and CSV: histograms (linear and log-log), rate-versus-time
+// series, trace diagrams and aligned comparison tables. All figure
+// regeneration in cmd/paperfig goes through this package.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"ensembleio/internal/ensemble"
+)
+
+// Bar renders one horizontal bar of width proportional to v/max.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Histogram renders h as an ASCII bar chart. Log-binned histograms get
+// logarithmic bar lengths (the paper's log-log presentation), so that
+// rare slow modes remain visible next to dominant fast ones.
+func Histogram(w io.Writer, title string, h *ensemble.Histogram) {
+	fmt.Fprintf(w, "%s  (n=%.0f, under=%.0f, over=%.0f)\n", title, h.Total(), h.Underflow(), h.Overflow())
+	counts := h.Counts()
+	max := 0.0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	logScale := h.Bins.Log
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		v, m := c, max
+		if logScale {
+			v, m = math.Log10(1+c), math.Log10(1+max)
+		}
+		fmt.Fprintf(w, "  %12s  %6.0f %s\n", fmtRange(h.Bins.Edges[i], h.Bins.Edges[i+1]), c, bar(v, m, 50))
+	}
+}
+
+func fmtRange(lo, hi float64) string {
+	return fmt.Sprintf("%s-%s", fmtNum(lo), fmtNum(hi))
+}
+
+func fmtNum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 1:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 2, 64)
+	}
+}
+
+// Series renders a time series as a fixed-width ASCII strip chart.
+func Series(w io.Writer, title string, t0 float64, dt float64, values []float64, cols int) {
+	fmt.Fprintln(w, title)
+	if len(values) == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	// Downsample to cols columns by averaging.
+	per := (len(values) + cols - 1) / cols
+	var ds []float64
+	for i := 0; i < len(values); i += per {
+		end := i + per
+		if end > len(values) {
+			end = len(values)
+		}
+		s := 0.0
+		for _, v := range values[i:end] {
+			s += v
+		}
+		ds = append(ds, s/float64(end-i))
+	}
+	max := 0.0
+	for _, v := range ds {
+		if v > max {
+			max = v
+		}
+	}
+	const rows = 12
+	for r := rows; r >= 1; r-- {
+		thresh := max * float64(r-1) / float64(rows)
+		line := make([]byte, len(ds))
+		for i, v := range ds {
+			if v > thresh && v > 0 {
+				line[i] = '*'
+			} else {
+				line[i] = ' '
+			}
+		}
+		label := ""
+		if r == rows {
+			label = fmtNum(max)
+		} else if r == 1 {
+			label = "0"
+		}
+		fmt.Fprintf(w, "  %8s |%s\n", label, string(line))
+	}
+	endT := t0 + dt*float64(len(values))
+	fmt.Fprintf(w, "  %8s  %-s%*s\n", "", fmtNum(t0)+"s", len(ds)-len(fmtNum(t0)), fmtNum(endT)+"s")
+}
+
+// Table renders rows with aligned columns. The first row is treated as
+// the header.
+func Table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, r := range rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		if ri == 0 {
+			var sep strings.Builder
+			for i := range r {
+				if i > 0 {
+					sep.WriteString("  ")
+				}
+				sep.WriteString(strings.Repeat("-", widths[i]))
+			}
+			fmt.Fprintln(w, sep.String())
+		}
+	}
+}
+
+// CSV writes rows as comma-separated values (RFC-4180-lite: fields are
+// quoted only when they contain a comma or quote).
+func CSV(w io.Writer, rows [][]string) error {
+	for _, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float compactly for table cells.
+func F(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+
+// ModeTable summarizes detected modes as table rows.
+func ModeTable(modes []ensemble.Mode, unit string) [][]string {
+	rows := [][]string{{"mode center (" + unit + ")", "mass", "prominence"}}
+	for _, m := range modes {
+		rows = append(rows, []string{F(m.Center, 2), F(m.Mass, 3), F(m.Prominence, 3)})
+	}
+	return rows
+}

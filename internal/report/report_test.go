@@ -1,0 +1,160 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ensembleio/internal/ensemble"
+)
+
+func TestHistogramRendering(t *testing.T) {
+	h := ensemble.NewHistogram(ensemble.LinearBins(0, 10, 5))
+	for _, x := range []float64{1, 1, 1, 1, 5, 9} {
+		h.Add(x)
+	}
+	var b strings.Builder
+	Histogram(&b, "title", h)
+	out := b.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "n=6") {
+		t.Errorf("missing count: %q", out)
+	}
+	// The dominant bin gets the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	longest, idx := 0, -1
+	for i, l := range lines {
+		n := strings.Count(l, "#")
+		if n > longest {
+			longest, idx = n, i
+		}
+	}
+	if idx < 0 || !strings.Contains(lines[idx], "4") {
+		t.Errorf("dominant bar not on the 4-count bin: %q", out)
+	}
+	// Empty bins are skipped.
+	if strings.Contains(out, "6.0-8.0") {
+		t.Errorf("empty bin rendered: %q", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := ensemble.NewHistogram(ensemble.LinearBins(0, 10, 5))
+	var b strings.Builder
+	Histogram(&b, "t", h)
+	if !strings.Contains(b.String(), "(empty)") {
+		t.Error("empty histogram not flagged")
+	}
+}
+
+func TestLogHistogramUsesLogBars(t *testing.T) {
+	h := ensemble.NewHistogram(ensemble.LogBins(0.1, 100, 2))
+	for i := 0; i < 1000; i++ {
+		h.Add(1)
+	}
+	h.Add(50) // single event in a far bin
+	var b strings.Builder
+	Histogram(&b, "t", h)
+	// With log bars, the single-count bin still shows a visible bar
+	// relative to the 1000-count bin (not 0 of 50 chars).
+	lines := strings.Split(b.String(), "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, " 1 ") && strings.Contains(l, "#") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("log-scale bar for rare bin missing:\n%s", b.String())
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	var b strings.Builder
+	Series(&b, "ramp", 0, 1, vals, 50)
+	out := b.String()
+	if !strings.Contains(out, "ramp") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 1 title + 12 rows + 1 axis.
+	if len(lines) != 14 {
+		t.Errorf("%d lines, want 14", len(lines))
+	}
+	// A ramp fills more of the top-right than the top-left.
+	top := lines[1]
+	if strings.Count(top[:len(top)/2], "*") >= strings.Count(top[len(top)/2:], "*") {
+		t.Errorf("ramp not rising: %q", top)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "t", 0, 1, nil, 10)
+	if !strings.Contains(b.String(), "(empty)") {
+		t.Error("empty series not flagged")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, [][]string{
+		{"name", "value"},
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing header rule: %q", lines[1])
+	}
+	// Columns align: "value" and "1" start at the same offset.
+	hdr := strings.Index(lines[0], "value")
+	row := strings.Index(lines[2], "1")
+	if hdr != row {
+		t.Errorf("column misaligned: header at %d, row at %d", hdr, row)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, [][]string{
+		{"plain", `with,comma`, `with"quote`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "plain,\"with,comma\",\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestModeTable(t *testing.T) {
+	rows := ModeTable([]ensemble.Mode{
+		{Center: 32.1, Mass: 0.33, Prominence: 1.0},
+		{Center: 16.4, Mass: 0.25, Prominence: 0.4},
+	}, "s")
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if rows[1][0] != "32.10" {
+		t.Errorf("center cell %q", rows[1][0])
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F: %q", F(3.14159, 2))
+	}
+	if F(100, 0) != "100" {
+		t.Errorf("F: %q", F(100, 0))
+	}
+}

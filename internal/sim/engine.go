@@ -1,0 +1,116 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a virtual clock and a lock-step process runtime.
+//
+// The engine executes events in (time, sequence) order on a single
+// goroutine. Simulated processes run as goroutines but are scheduled in
+// strict rendezvous with the engine: at most one process executes at a
+// time, and control returns to the event loop whenever a process blocks
+// on a simulated operation. This makes simulations fully deterministic
+// for a given seed, regardless of GOMAXPROCS.
+//
+// All times are in seconds of virtual time (type Time).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration = Time
+
+// Infinity is a time later than any event the engine will execute.
+const Infinity Time = math.MaxFloat64
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	ack     chan struct{}
+	running bool
+	procs   int // live (spawned, not finished) processes
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{ack: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: events must never run backwards.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the event queue is empty. It returns the
+// final virtual time. Run panics if any spawned process is still
+// blocked when the queue drains (a deadlock in the simulated system).
+func (e *Engine) Run() Time { return e.RunUntil(Infinity) }
+
+// RunUntil executes events with time <= limit and returns the time of
+// the last executed event (or the current time if none ran). Events
+// beyond the limit remain queued.
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		if e.events[0].t > limit {
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.procs, e.now))
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

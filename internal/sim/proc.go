@@ -1,0 +1,155 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that advances only in
+// lock-step with the engine. A Proc may call its blocking methods
+// (Sleep, and the Wait methods of synchronization types built on
+// park/unpark) only from its own goroutine.
+type Proc struct {
+	eng  *Engine
+	wake chan struct{}
+	name string
+	done bool
+}
+
+// Spawn starts fn as a simulated process at the current virtual time.
+// The name is used in diagnostics only.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, wake: make(chan struct{}), name: name}
+	e.procs++
+	go func() {
+		<-p.wake // wait for first resume from the event loop
+		fn(p)
+		p.done = true
+		p.eng.procs--
+		p.eng.ack <- struct{}{}
+	}()
+	e.At(e.now, func() { p.resume() })
+	return p
+}
+
+// resume transfers control to the process goroutine and blocks until it
+// parks again or finishes. It must only be called from the event loop
+// (i.e. from inside an event function).
+func (p *Proc) resume() {
+	if p.done {
+		panic(fmt.Sprintf("sim: resume of finished process %q", p.name))
+	}
+	p.wake <- struct{}{}
+	<-p.eng.ack
+}
+
+// park yields control back to the event loop and blocks the process
+// goroutine until the next resume.
+func (p *Proc) park() {
+	p.eng.ack <- struct{}{}
+	<-p.wake
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep blocks the process for d seconds of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.eng.After(d, p.resume)
+	p.park()
+}
+
+// Block parks the process until some other event calls the returned
+// wake function. The wake function is safe to call from event
+// functions or from other processes (it schedules the resume rather
+// than performing it inline) and must be called exactly once.
+func (p *Proc) Block() (wake func()) {
+	fired := false
+	return func() {
+		if fired {
+			panic(fmt.Sprintf("sim: double wake of process %q", p.name))
+		}
+		fired = true
+		p.eng.At(p.eng.now, p.resume)
+	}
+}
+
+// blockNow parks immediately; used with Block:
+//
+//	wake := p.Block()
+//	registerSomewhere(wake)
+//	p.Park()
+//
+// Park parks the process goroutine; it resumes when a previously
+// obtained wake function fires.
+func (p *Proc) Park() { p.park() }
+
+// WaitQueue is a FIFO queue of parked processes. The zero value is
+// ready to use.
+type WaitQueue struct {
+	waiters []func()
+}
+
+// Wait parks p until it is woken by WakeOne or WakeAll. Processes are
+// woken in FIFO order.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p.Block())
+	p.Park()
+}
+
+// WakeOne wakes the oldest waiter, if any, and reports whether a
+// process was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	w()
+	return true
+}
+
+// WakeAll wakes every waiter in FIFO order.
+func (q *WaitQueue) WakeAll() {
+	ws := q.waiters
+	q.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Len reports the number of parked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Semaphore is a counting semaphore for simulated processes. The zero
+// value has zero capacity; use NewSemaphore.
+type Semaphore struct {
+	avail int
+	queue WaitQueue
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes one permit, blocking the process until one is free.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail <= 0 {
+		s.queue.Wait(p)
+	}
+	s.avail--
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release() {
+	s.avail++
+	s.queue.WakeOne()
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded source of the random variates used by the simulator.
+// It wraps math/rand with the distributions needed for service-time
+// variability modelling. RNG is not safe for concurrent use; in the
+// lock-step runtime only one process executes at a time, so a single
+// RNG per simulation is safe.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child generator. The child stream is a
+// deterministic function of the parent seed stream and the label,
+// letting subsystems draw variates without perturbing each other's
+// sequences when call orders change.
+func (g *RNG) Fork(label int64) *RNG {
+	return NewRNG(g.r.Int63() ^ int64(uint64(label)*0x9e3779b97f4a7c15>>1))
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Uniform returns a uniform variate in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponential variate with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, sd float64) float64 {
+	return mean + sd*g.r.NormFloat64()
+}
+
+// Lognormal returns a lognormal variate with median exp(mu) and log
+// standard deviation sigma. For service-time jitter, use mu=0 so the
+// median multiplier is 1.
+func (g *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Pareto returns a Pareto variate with minimum xm and shape alpha.
+// Small alpha (e.g. 1.5) produces the heavy-tailed stragglers seen in
+// shared production file systems.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli reports true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Choose returns an index in [0,len(weights)) with probability
+// proportional to the weights. It panics on an empty or non-positive
+// weight vector.
+func (g *RNG) Choose(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 || len(weights) == 0 {
+		panic("sim: Choose requires positive total weight")
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

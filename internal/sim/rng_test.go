@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewRNG(1)
+	c1 := g.Fork(1)
+	c2 := g.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams coincide on %d/100 draws", same)
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	g := NewRNG(7)
+	n := 20000
+	above := 0
+	for i := 0; i < n; i++ {
+		if g.Lognormal(0, 0.3) > 1 {
+			above++
+		}
+	}
+	frac := float64(above) / float64(n)
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("fraction above median = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := g.Pareto(2.0, 1.5)
+		if v < 2.0 {
+			t.Fatalf("Pareto variate %v below xm=2", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(11)
+	sum := 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(3.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Errorf("sample mean %.3f, want ~3.0", mean)
+	}
+}
+
+func TestChooseRespectsWeights(t *testing.T) {
+	g := NewRNG(5)
+	counts := [3]int{}
+	n := 30000
+	for i := 0; i < n; i++ {
+		counts[g.Choose([]float64{1, 2, 1})]++
+	}
+	mid := float64(counts[1]) / float64(n)
+	if mid < 0.46 || mid > 0.54 {
+		t.Errorf("middle weight chosen %.3f of the time, want ~0.5", mid)
+	}
+}
+
+func TestChoosePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRNG(1).Choose([]float64{0, 0})
+}
+
+func TestUniformInRange(t *testing.T) {
+	g := NewRNG(9)
+	f := func(a, b uint8) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		v := g.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the engine never executes events out of time order, no
+// matter the insertion pattern.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var prev Time = -1
+		ok := true
+		for _, tt := range times {
+			at := Time(tt)
+			e.At(at, func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package tracefmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ensembleio/internal/ensemble"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/sim"
+)
+
+// Profile is the persistent form of a profile-mode collection: per-op
+// duration and rate histograms plus phase marks — "just enough to
+// define the distribution" (§VI), typically a few kilobytes regardless
+// of how many million events the job issued.
+type Profile struct {
+	// Durations maps op name -> completion-time histogram (seconds).
+	Durations map[string]*ensemble.Histogram `json:"durations"`
+	// Rates maps op name -> size-normalized histogram (sec/MB).
+	Rates map[string]*ensemble.Histogram `json:"rates"`
+	// Marks are the phase boundaries.
+	Marks []profileMark `json:"marks,omitempty"`
+}
+
+type profileMark struct {
+	Name string  `json:"name"`
+	T    float64 `json:"t"`
+}
+
+// ProfileOf extracts the persistent profile from a profile-mode
+// collector. Empty histograms are omitted.
+func ProfileOf(c *ipmio.Collector) (*Profile, error) {
+	p := &Profile{
+		Durations: make(map[string]*ensemble.Histogram),
+		Rates:     make(map[string]*ensemble.Histogram),
+	}
+	for op := ipmio.OpOpen; op <= ipmio.OpFsync; op++ {
+		d := c.DurProfile(op)
+		if d == nil {
+			return nil, fmt.Errorf("tracefmt: collector is not in profile mode")
+		}
+		if d.Total() > 0 {
+			p.Durations[op.String()] = d
+		}
+		if r := c.RateProfile(op); r != nil && r.Total() > 0 {
+			p.Rates[op.String()] = r
+		}
+	}
+	for _, m := range c.Marks {
+		p.Marks = append(p.Marks, profileMark{Name: m.Name, T: float64(m.T)})
+	}
+	return p, nil
+}
+
+// PhaseMarks returns the profile's marks in collector form.
+func (p *Profile) PhaseMarks() []ipmio.PhaseMark {
+	var out []ipmio.PhaseMark
+	for _, m := range p.Marks {
+		out = append(out, ipmio.PhaseMark{Name: m.Name, T: sim.Time(m.T)})
+	}
+	return out
+}
+
+// Duration returns the duration histogram for an op, or nil.
+func (p *Profile) Duration(op ipmio.Op) *ensemble.Histogram {
+	return p.Durations[op.String()]
+}
+
+// Rate returns the sec/MB histogram for an op, or nil.
+func (p *Profile) Rate(op ipmio.Op) *ensemble.Histogram {
+	return p.Rates[op.String()]
+}
+
+// WriteProfile serializes the profile as indented JSON.
+func WriteProfile(w io.Writer, p *Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// ReadProfile deserializes a profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("tracefmt: bad profile: %w", err)
+	}
+	return &p, nil
+}

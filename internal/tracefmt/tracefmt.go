@@ -1,0 +1,307 @@
+// Package tracefmt persists IPM-I/O traces. Two encodings are
+// provided: a line-oriented JSON form for interoperability and
+// eyeballing, and a compact binary form (varint fields plus a file-
+// path interning table) for the full traces of large runs, where a
+// 10,240-task trace in JSON would be needlessly bulky.
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/sim"
+)
+
+// ---- JSONL ----
+
+type jsonRecord struct {
+	Type string  `json:"type,omitempty"` // "", "mark"
+	Rank int     `json:"r"`
+	Op   string  `json:"op,omitempty"`
+	FD   int     `json:"fd,omitempty"`
+	File string  `json:"f,omitempty"`
+	Off  int64   `json:"o,omitempty"`
+	N    int64   `json:"n,omitempty"`
+	T    float64 `json:"t"`
+	D    float64 `json:"d,omitempty"`
+	Name string  `json:"name,omitempty"`
+}
+
+// WriteJSONL encodes events and phase marks as one JSON object per
+// line, in the order given.
+func WriteJSONL(w io.Writer, events []ipmio.Event, marks []ipmio.PhaseMark) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, m := range marks {
+		if err := enc.Encode(jsonRecord{Type: "mark", Name: m.Name, T: float64(m.T)}); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		rec := jsonRecord{
+			Rank: e.Rank, Op: e.Op.String(), FD: e.FD, File: e.File,
+			Off: e.Offset, N: e.Bytes, T: float64(e.Start), D: float64(e.Dur),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL trace.
+func ReadJSONL(r io.Reader) ([]ipmio.Event, []ipmio.PhaseMark, error) {
+	var events []ipmio.Event
+	var marks []ipmio.PhaseMark
+	dec := json.NewDecoder(r)
+	for {
+		var rec jsonRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("tracefmt: bad JSONL record: %w", err)
+		}
+		if rec.Type == "mark" {
+			marks = append(marks, ipmio.PhaseMark{Name: rec.Name, T: sim.Time(rec.T)})
+			continue
+		}
+		op, ok := ipmio.ParseOp(rec.Op)
+		if !ok {
+			return nil, nil, fmt.Errorf("tracefmt: unknown op %q", rec.Op)
+		}
+		events = append(events, ipmio.Event{
+			Rank: rec.Rank, Op: op, FD: rec.FD, File: rec.File,
+			Offset: rec.Off, Bytes: rec.N, Start: sim.Time(rec.T), Dur: sim.Duration(rec.D),
+		})
+	}
+	return events, marks, nil
+}
+
+// ---- Binary ----
+
+const binMagic = "IPMB1\n"
+
+const (
+	kindEvent = 0
+	kindMark  = 1
+	kindPath  = 2
+)
+
+// WriteBinary encodes a trace compactly. File paths are interned: the
+// first reference to a path emits a definition record, later events
+// carry only its id.
+func WriteBinary(w io.Writer, events []ipmio.Event, marks []ipmio.PhaseMark) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putIv := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putF := func(f float64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		_, err := bw.Write(b[:])
+		return err
+	}
+	putS := func(s string) error {
+		if err := putUv(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	for _, m := range marks {
+		if err := putUv(kindMark); err != nil {
+			return err
+		}
+		if err := putS(m.Name); err != nil {
+			return err
+		}
+		if err := putF(float64(m.T)); err != nil {
+			return err
+		}
+	}
+
+	paths := make(map[string]uint64)
+	for _, e := range events {
+		id, ok := paths[e.File]
+		if !ok {
+			id = uint64(len(paths))
+			paths[e.File] = id
+			if err := putUv(kindPath); err != nil {
+				return err
+			}
+			if err := putUv(id); err != nil {
+				return err
+			}
+			if err := putS(e.File); err != nil {
+				return err
+			}
+		}
+		if err := putUv(kindEvent); err != nil {
+			return err
+		}
+		if err := putUv(uint64(e.Rank)); err != nil {
+			return err
+		}
+		if err := putUv(uint64(e.Op)); err != nil {
+			return err
+		}
+		if err := putUv(uint64(e.FD)); err != nil {
+			return err
+		}
+		if err := putUv(id); err != nil {
+			return err
+		}
+		if err := putIv(e.Offset); err != nil {
+			return err
+		}
+		if err := putIv(e.Bytes); err != nil {
+			return err
+		}
+		if err := putF(float64(e.Start)); err != nil {
+			return err
+		}
+		if err := putF(float64(e.Dur)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace.
+func ReadBinary(r io.Reader) ([]ipmio.Event, []ipmio.PhaseMark, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("tracefmt: missing magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, nil, fmt.Errorf("tracefmt: bad magic %q", magic)
+	}
+	getF := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	getS := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	var events []ipmio.Event
+	var marks []ipmio.PhaseMark
+	paths := make(map[uint64]string)
+	for {
+		kind, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case kindMark:
+			name, err := getS()
+			if err != nil {
+				return nil, nil, err
+			}
+			t, err := getF()
+			if err != nil {
+				return nil, nil, err
+			}
+			marks = append(marks, ipmio.PhaseMark{Name: name, T: sim.Time(t)})
+		case kindPath:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			s, err := getS()
+			if err != nil {
+				return nil, nil, err
+			}
+			paths[id] = s
+		case kindEvent:
+			var e ipmio.Event
+			rank, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			op, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			fd, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			pid, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			off, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			n, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			start, err := getF()
+			if err != nil {
+				return nil, nil, err
+			}
+			dur, err := getF()
+			if err != nil {
+				return nil, nil, err
+			}
+			e.Rank = int(rank)
+			e.Op = ipmio.Op(op)
+			e.FD = int(fd)
+			e.File = paths[pid]
+			e.Offset = off
+			e.Bytes = n
+			e.Start = sim.Time(start)
+			e.Dur = sim.Duration(dur)
+			events = append(events, e)
+		default:
+			return nil, nil, fmt.Errorf("tracefmt: unknown record kind %d", kind)
+		}
+	}
+	return events, marks, nil
+}
+
+// Merge combines per-rank (or per-run) event slices into one stream
+// ordered by start time (stable for equal timestamps).
+func Merge(traces ...[]ipmio.Event) []ipmio.Event {
+	var out []ipmio.Event
+	for _, tr := range traces {
+		out = append(out, tr...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,126 @@
+package tracefmt
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/sim"
+)
+
+func sampleTrace() ([]ipmio.Event, []ipmio.PhaseMark) {
+	events := []ipmio.Event{
+		{Rank: 0, Op: ipmio.OpOpen, FD: 3, File: "/scratch/a", Start: 0.5, Dur: 0.001},
+		{Rank: 0, Op: ipmio.OpWrite, FD: 3, File: "/scratch/a", Offset: 0, Bytes: 512e6, Start: 1, Dur: 30.25},
+		{Rank: 7, Op: ipmio.OpWrite, FD: 3, File: "/scratch/a", Offset: 512e6, Bytes: 512e6, Start: 1, Dur: 8.5},
+		{Rank: 7, Op: ipmio.OpSeek, FD: 3, File: "/scratch/a", Offset: 0, Start: 10, Dur: 0},
+		{Rank: 7, Op: ipmio.OpRead, FD: 4, File: "/scratch/b", Offset: -1, Bytes: 1600000, Start: 12, Dur: 2.25},
+		{Rank: 7, Op: ipmio.OpClose, FD: 4, File: "/scratch/b", Start: 15, Dur: 0.002},
+	}
+	marks := []ipmio.PhaseMark{
+		{Name: "phase0", T: 0},
+		{Name: "phase1", T: 11.5},
+	}
+	return events, marks
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events, marks := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events, marks); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ev2, mk2, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(events, ev2) {
+		t.Errorf("events round trip mismatch:\n got %+v\nwant %+v", ev2, events)
+	}
+	if !reflect.DeepEqual(marks, mk2) {
+		t.Errorf("marks round trip mismatch: %+v vs %+v", mk2, marks)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events, marks := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events, marks); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ev2, mk2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(events, ev2) {
+		t.Errorf("events round trip mismatch:\n got %+v\nwant %+v", ev2, events)
+	}
+	if !reflect.DeepEqual(marks, mk2) {
+		t.Errorf("marks mismatch: %+v vs %+v", mk2, marks)
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	events, marks := sampleTrace()
+	// Amplify to a realistic volume.
+	var big []ipmio.Event
+	for i := 0; i < 500; i++ {
+		big = append(big, events...)
+	}
+	var jb, bb bytes.Buffer
+	if err := WriteJSONL(&jb, big, marks); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, big, marks); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= jb.Len()/2 {
+		t.Errorf("binary %d bytes not <2x smaller than JSON %d bytes", bb.Len(), jb.Len())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, _, err := ReadBinary(strings.NewReader("NOTIT\nxxxx")); err == nil {
+		t.Error("expected bad-magic error")
+	}
+}
+
+func TestJSONLBadOp(t *testing.T) {
+	if _, _, err := ReadJSONL(strings.NewReader(`{"op":"teleport","t":1}` + "\n")); err == nil {
+		t.Error("expected unknown-op error")
+	}
+}
+
+func TestMergeOrdersByStart(t *testing.T) {
+	a := []ipmio.Event{
+		{Rank: 0, Op: ipmio.OpWrite, Start: 5},
+		{Rank: 0, Op: ipmio.OpWrite, Start: 1},
+	}
+	b := []ipmio.Event{
+		{Rank: 1, Op: ipmio.OpWrite, Start: 3},
+	}
+	m := Merge(a, b)
+	if len(m) != 3 {
+		t.Fatalf("merged %d, want 3", len(m))
+	}
+	var prev sim.Time = -1
+	for _, e := range m {
+		if e.Start < prev {
+			t.Fatal("merge not ordered")
+		}
+		prev = e.Start
+	}
+}
+
+func TestEmptyTraceRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev, mk, err := ReadBinary(&buf)
+	if err != nil || len(ev) != 0 || len(mk) != 0 {
+		t.Errorf("empty round trip: ev=%v mk=%v err=%v", ev, mk, err)
+	}
+}

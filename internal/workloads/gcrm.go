@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/h5lite"
+	"ensembleio/internal/ipmio"
+)
+
+// GCRMConfig parametrizes the Global Cloud Resolving Model I/O kernel
+// of §V: an H5Part-style dump of model variables to one shared file.
+// The baseline pattern (per the paper) is three single-record
+// variables, each followed by a barrier, then three six-record
+// variables, followed by another barrier; records are 1.6 MB.
+//
+// The three progressive optimizations map to fields:
+//
+//	Figure 6d-f: Aggregators = 80   (collective buffering, stage two)
+//	Figure 6g-i: + Align = true     (pad records to 1 MB boundaries)
+//	Figure 6j-l: + AggregateMetadata = true (one deferred 1 MB write)
+type GCRMConfig struct {
+	Machine cluster.Profile
+	// Tasks is the number of model tasks whose records are dumped
+	// (paper: 10,240). Record ownership is defined at this
+	// granularity regardless of how many ranks do the writing.
+	Tasks int
+	// Aggregators, when non-zero, runs the kernel with that many
+	// writer ranks, each writing Tasks/Aggregators tasks' records
+	// (the paper tested collective buffering "stage two only" by
+	// running the kernel with 80 tasks and 128x the write calls).
+	// When TwoStage is also set, all Tasks ranks run and ship their
+	// records to the aggregators over MPI first (stage one + two).
+	Aggregators int
+	TwoStage    bool
+	// Align pads records to 1 MB boundaries via the HDF5 alignment
+	// property.
+	Align bool
+	// AggregateMetadata defers metadata into one large write at close.
+	AggregateMetadata bool
+
+	// RecordBytes per record (paper: 1.6 MB).
+	RecordBytes int64
+	// SingleVars and MultiVars describe the dump shape.
+	SingleVars int // variables with 1 record per task (paper: 3)
+	MultiVars  int // variables with MultiRecs records per task (paper: 3)
+	MultiRecs  int // records per task per multi variable (paper: 6)
+	// MetaOpsPerVar is the number of small metadata writes flushed
+	// after each variable (chunk index scale; ~80 ops x 2 KB x 6 vars
+	// ~= 1 MB total, matching the paper's aggregated single 1 MB).
+	MetaOpsPerVar int
+
+	Seed int64
+	Mode ipmio.Mode
+	Path string
+}
+
+func (c *GCRMConfig) defaults() {
+	if c.Tasks == 0 {
+		c.Tasks = 10240
+	}
+	if c.RecordBytes == 0 {
+		c.RecordBytes = 1600000
+	}
+	if c.SingleVars == 0 {
+		c.SingleVars = 3
+	}
+	if c.MultiVars == 0 {
+		c.MultiVars = 3
+	}
+	if c.MultiRecs == 0 {
+		c.MultiRecs = 6
+	}
+	if c.MetaOpsPerVar == 0 {
+		c.MetaOpsPerVar = 80
+	}
+	if c.Mode == 0 {
+		c.Mode = ipmio.TraceMode
+	}
+	if c.Path == "" {
+		c.Path = "/scratch/gcrm.h5"
+	}
+}
+
+// TotalRecords returns the number of records in one dump.
+func (c *GCRMConfig) TotalRecords() int {
+	return c.Tasks * (c.SingleVars + c.MultiVars*c.MultiRecs)
+}
+
+// RunGCRM executes the kernel and returns its artifact.
+func RunGCRM(cfg GCRMConfig) *Run {
+	cfg.defaults()
+
+	writers := cfg.Tasks
+	perWriter := 1 // tasks' records handled per writer rank
+	if cfg.Aggregators > 0 {
+		if cfg.Tasks%cfg.Aggregators != 0 {
+			panic("workloads: GCRM tasks must divide evenly among aggregators")
+		}
+		writers = cfg.Aggregators
+		perWriter = cfg.Tasks / cfg.Aggregators
+	}
+
+	ranks := writers
+	if cfg.TwoStage && cfg.Aggregators > 0 {
+		ranks = cfg.Tasks
+	}
+
+	var align int64
+	if cfg.Align {
+		align = 1e6
+	}
+
+	j := newJob(cfg.Machine, ranks, cfg.Seed, cfg.Mode)
+
+	// In two-stage mode, writer w is world rank w*perWriter (spreading
+	// aggregators across nodes); its group is the perWriter ranks
+	// starting there. In single-stage mode every rank is a writer.
+	writerIdx := func(worldRank int) (int, bool) {
+		if !cfg.TwoStage || cfg.Aggregators == 0 {
+			return worldRank, true
+		}
+		if worldRank%perWriter == 0 {
+			return worldRank / perWriter, true
+		}
+		return -1, false
+	}
+	var groups []*mpiComm
+	if cfg.TwoStage && cfg.Aggregators > 0 {
+		for g := 0; g < writers; g++ {
+			members := make([]int, perWriter)
+			for i := range members {
+				members[i] = g*perWriter + i
+			}
+			groups = append(groups, j.w.NewComm(members))
+		}
+	}
+
+	j.launch(func(r *mpiRank, tr *tracer) {
+		w, isWriter := writerIdx(r.ID)
+		var group *mpiComm
+		if groups != nil {
+			group = groups[r.ID/perWriter]
+		}
+
+		// Non-writer ranks in two-stage mode only ship data.
+		var f *h5lite.File
+		var singles, multis []*h5lite.Dataset
+		if isWriter {
+			var err error
+			f, err = h5lite.Create(r.P, tr, cfg.Path, h5lite.FileOpts{
+				Alignment:         align,
+				AggregateMetadata: cfg.AggregateMetadata,
+				MetadataWriter:    r.ID == 0,
+			})
+			if err != nil {
+				panic(err)
+			}
+			for v := 0; v < cfg.SingleVars; v++ {
+				singles = append(singles, f.CreateDataset(
+					fmt.Sprintf("var1_%d", v), cfg.RecordBytes, cfg.Tasks, cfg.MetaOpsPerVar))
+			}
+			for v := 0; v < cfg.MultiVars; v++ {
+				multis = append(multis, f.CreateDataset(
+					fmt.Sprintf("var%d_%d", cfg.MultiRecs, v), cfg.RecordBytes, cfg.Tasks*cfg.MultiRecs, cfg.MetaOpsPerVar))
+			}
+		}
+
+		r.Barrier() // synchronize after file create / open storm
+
+		writeVar := func(ds *h5lite.Dataset, recsPerTask int, name string) {
+			j.mark(r, name)
+			if group != nil {
+				// Stage one: ship records to the aggregator.
+				n := cfg.RecordBytes * int64(recsPerTask)
+				group.Gather(r, n, r.ID)
+			}
+			if isWriter {
+				// Stage two: the writer emits its tasks' records.
+				for tsk := w * perWriter; tsk < (w+1)*perWriter; tsk++ {
+					t := tsk
+					if cfg.Aggregators == 0 {
+						t = w // every rank is its own task
+					}
+					for rec := 0; rec < recsPerTask; rec++ {
+						if err := ds.WriteRecord(r.P, t*recsPerTask+rec); err != nil {
+							panic(err)
+						}
+					}
+				}
+				if err := ds.FlushMetadata(r.P); err != nil {
+					panic(err)
+				}
+			}
+			r.Barrier()
+		}
+
+		for v := 0; v < cfg.SingleVars; v++ {
+			var ds *h5lite.Dataset
+			if isWriter {
+				ds = singles[v]
+			}
+			writeVar(ds, 1, fmt.Sprintf("single-var-%d", v))
+		}
+		for v := 0; v < cfg.MultiVars; v++ {
+			var ds *h5lite.Dataset
+			if isWriter {
+				ds = multis[v]
+			}
+			writeVar(ds, cfg.MultiRecs, fmt.Sprintf("multi-var-%d", v))
+		}
+		if isWriter {
+			j.mark(r, "close")
+			if err := f.Close(r.P); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	name := "gcrm-baseline"
+	switch {
+	case cfg.AggregateMetadata:
+		name = "gcrm-metaagg"
+	case cfg.Align:
+		name = "gcrm-aligned"
+	case cfg.Aggregators > 0:
+		name = "gcrm-collective"
+	}
+	return &Run{
+		Name:       name,
+		Tasks:      cfg.Tasks,
+		Collector:  j.col,
+		Wall:       j.wall,
+		TotalBytes: int64(cfg.TotalRecords()) * cfg.RecordBytes,
+	}
+}

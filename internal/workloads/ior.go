@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/posixio"
+)
+
+// IORConfig parametrizes the Interleaved-Or-Random micro-benchmark as
+// used in §III: every task writes BlockBytes to its unique offset in a
+// shared file, in BlockBytes/TransferBytes successive write calls,
+// followed by a barrier; the whole phase repeats Reps times.
+type IORConfig struct {
+	Machine cluster.Profile
+	Tasks   int
+	// BlockBytes per task per repetition (paper: 512 MB).
+	BlockBytes int64
+	// TransferBytes per write call (512, 256, 128, 64 MB in Fig 1-2).
+	TransferBytes int64
+	// Reps is the number of synchronous phases (paper: 5).
+	Reps int
+	// ReadBack adds a final phase in which every task reads its block
+	// back in the same transfer sizes (IOR's read test).
+	ReadBack bool
+	// FilePerProcess gives each task its own file instead of a unique
+	// region of one shared file (IOR's -F mode). File-per-process
+	// avoids all shared-file extent-lock contention at the cost of a
+	// metadata storm and N files to manage.
+	FilePerProcess bool
+	// Seed selects the run (different seeds = different runs of the
+	// same experiment).
+	Seed int64
+	// Mode selects trace and/or profile collection.
+	Mode ipmio.Mode
+	// Path of the shared file.
+	Path string
+}
+
+func (c *IORConfig) defaults() {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 512e6
+	}
+	if c.TransferBytes == 0 {
+		c.TransferBytes = c.BlockBytes
+	}
+	if c.Reps == 0 {
+		c.Reps = 1
+	}
+	if c.Mode == 0 {
+		c.Mode = ipmio.TraceMode
+	}
+	if c.Path == "" {
+		c.Path = "/scratch/ior.dat"
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 1024
+	}
+}
+
+// RunIOR executes the benchmark and returns its artifact.
+func RunIOR(cfg IORConfig) *Run {
+	cfg.defaults()
+	if cfg.BlockBytes%cfg.TransferBytes != 0 {
+		panic("workloads: IOR block must be a multiple of the transfer size")
+	}
+	k := int(cfg.BlockBytes / cfg.TransferBytes)
+
+	flags := posixio.OCreat | posixio.OWronly
+	if cfg.ReadBack {
+		flags = posixio.OCreat | posixio.ORdwr
+	}
+	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	j.launch(func(r *mpiRank, tr *tracer) {
+		path := cfg.Path
+		base := int64(r.ID) * cfg.BlockBytes
+		if cfg.FilePerProcess {
+			path = fmt.Sprintf("%s.%05d", cfg.Path, r.ID)
+			base = 0
+		}
+		fd, err := tr.Open(r.P, path, flags)
+		if err != nil {
+			panic(err)
+		}
+		// Synchronize after the open storm so phase marks precede all
+		// phase I/O (IOR also barriers before its timed section).
+		r.Barrier()
+		for rep := 0; rep < cfg.Reps; rep++ {
+			j.mark(r, fmt.Sprintf("write-phase-%d", rep))
+			for i := 0; i < k; i++ {
+				off := base + int64(i)*cfg.TransferBytes
+				if _, err := tr.Pwrite(r.P, fd, off, cfg.TransferBytes); err != nil {
+					panic(err)
+				}
+			}
+			r.Barrier()
+		}
+		if cfg.ReadBack {
+			j.mark(r, "read-phase")
+			for i := 0; i < k; i++ {
+				off := base + int64(i)*cfg.TransferBytes
+				if n, err := tr.Pread(r.P, fd, off, cfg.TransferBytes); err != nil || n != cfg.TransferBytes {
+					panic(fmt.Sprintf("ior readback: n=%d err=%v", n, err))
+				}
+			}
+			r.Barrier()
+		}
+		if err := tr.Close(r.P, fd); err != nil {
+			panic(err)
+		}
+	})
+
+	total := int64(cfg.Tasks) * cfg.BlockBytes * int64(cfg.Reps)
+	if cfg.ReadBack {
+		total += int64(cfg.Tasks) * cfg.BlockBytes
+	}
+	name := fmt.Sprintf("ior-%dx%dMB-t%dMB", cfg.Tasks, cfg.BlockBytes/1e6, cfg.TransferBytes/1e6)
+	if cfg.FilePerProcess {
+		name += "-fpp"
+	}
+	return &Run{
+		Name:       name,
+		Tasks:      cfg.Tasks,
+		Collector:  j.col,
+		Wall:       j.wall,
+		TotalBytes: total,
+	}
+}

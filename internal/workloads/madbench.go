@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/lustre"
+	"ensembleio/internal/posixio"
+)
+
+// MADbenchConfig parametrizes the MADbench I/O kernel of §IV with
+// computation and communication turned off, leaving the pure I/O
+// pattern of the out-of-core CMB solver:
+//
+//	S phase: 8 x ( write matrix, barrier )
+//	W phase: 8 x ( seek, read matrix, seek, write matrix, barrier )
+//	C phase: 8 x ( read matrix, barrier )
+//
+// Each task owns a contiguous region of the shared file holding its
+// Matrices matrices, each padded to the alignment boundary — the
+// padding gap is what turns the W-phase reads into a constant-stride
+// pattern that arms the file system's strided read-ahead detection.
+type MADbenchConfig struct {
+	Machine cluster.Profile
+	Tasks   int
+	// Matrices per task (paper: 8).
+	Matrices int
+	// MatrixBytes per matrix (paper: ~300 MB; deliberately not a
+	// whole number of stripes, as a real pixel-matrix size is not).
+	MatrixBytes int64
+	// AlignBytes pads each matrix slot (paper: 1 MB).
+	AlignBytes int64
+	Seed       int64
+	Mode       ipmio.Mode
+	Path       string
+	// Instrument, when set, receives the mounted file system before
+	// launch (diagnostic hooks, e.g. lustre.FS.OnPathology).
+	Instrument func(fs *lustre.FS)
+}
+
+func (c *MADbenchConfig) defaults() {
+	if c.Tasks == 0 {
+		c.Tasks = 256
+	}
+	if c.Matrices == 0 {
+		c.Matrices = 8
+	}
+	if c.MatrixBytes == 0 {
+		c.MatrixBytes = 300_400_000 // pads to 301 MB slots at 1 MB alignment
+	}
+	if c.AlignBytes == 0 {
+		c.AlignBytes = 1e6
+	}
+	if c.Mode == 0 {
+		c.Mode = ipmio.TraceMode
+	}
+	if c.Path == "" {
+		c.Path = "/scratch/madbench.dat"
+	}
+}
+
+// Stride returns the aligned matrix slot size (after defaulting, so it
+// is safe to call on a not-yet-run config).
+func (c *MADbenchConfig) Stride() int64 {
+	cc := *c
+	cc.defaults()
+	return (cc.MatrixBytes + cc.AlignBytes - 1) / cc.AlignBytes * cc.AlignBytes
+}
+
+// RunMADbench executes the kernel and returns its artifact.
+func RunMADbench(cfg MADbenchConfig) *Run {
+	cfg.defaults()
+	stride := cfg.Stride()
+
+	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	if cfg.Instrument != nil {
+		cfg.Instrument(j.fs)
+	}
+	j.launch(func(r *mpiRank, tr *tracer) {
+		fd, err := tr.Open(r.P, cfg.Path, posixio.OCreat|posixio.ORdwr)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier() // synchronize after the open storm
+		base := int64(r.ID) * int64(cfg.Matrices) * stride
+		slot := func(m int) int64 { return base + int64(m)*stride }
+
+		// S: generate and write each matrix.
+		for m := 0; m < cfg.Matrices; m++ {
+			j.mark(r, fmt.Sprintf("S-write-%d", m))
+			mustW(tr.Pwrite(r.P, fd, slot(m), cfg.MatrixBytes))
+			r.Barrier()
+		}
+		// W: read each matrix back, multiply (elided), write result.
+		for m := 0; m < cfg.Matrices; m++ {
+			j.mark(r, fmt.Sprintf("W-rw-%d", m))
+			must(tr.Seek(r.P, fd, slot(m), posixio.SeekSet))
+			mustW(tr.Read(r.P, fd, cfg.MatrixBytes))
+			must(tr.Seek(r.P, fd, slot(m), posixio.SeekSet))
+			mustW(tr.Write(r.P, fd, cfg.MatrixBytes))
+			r.Barrier()
+		}
+		// C: read the results and accumulate the trace (elided).
+		for m := 0; m < cfg.Matrices; m++ {
+			j.mark(r, fmt.Sprintf("C-read-%d", m))
+			must(tr.Seek(r.P, fd, slot(m), posixio.SeekSet))
+			mustW(tr.Read(r.P, fd, cfg.MatrixBytes))
+			r.Barrier()
+		}
+		if err := tr.Close(r.P, fd); err != nil {
+			panic(err)
+		}
+	})
+
+	perTask := int64(cfg.Matrices) * cfg.MatrixBytes
+	return &Run{
+		Name:      fmt.Sprintf("madbench-%d-%s", cfg.Tasks, cfg.Machine.Name),
+		Tasks:     cfg.Tasks,
+		Collector: j.col,
+		Wall:      j.wall,
+		// S writes + W reads + W writes + C reads.
+		TotalBytes: int64(cfg.Tasks) * perTask * 4,
+	}
+}
+
+func must(_ int64, err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func mustW(n int64, err error) {
+	if err != nil {
+		panic(err)
+	}
+	if n == 0 {
+		panic("workloads: zero-length transfer")
+	}
+}

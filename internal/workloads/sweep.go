@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"ensembleio/internal/cluster"
+)
+
+// Parameter sweeps: the experiment shapes the paper iterates — the
+// Figure 2 transfer-size sweep and the §V writer-count sweep — as
+// reusable drivers. cmd/paperfig and the benchmarks build on these.
+
+// TransferPoint is one point of a transfer-size sweep.
+type TransferPoint struct {
+	K             int   // calls per block
+	TransferBytes int64 // bytes per call
+	// MeanRateMBps averages the job-level rate over the seeds.
+	MeanRateMBps float64
+	// Runs holds one run per seed (for deeper analysis).
+	Runs []*Run
+}
+
+// IORTransferSweep runs the Figure 2 experiment: the base
+// configuration with its block split into each k of ks, averaged over
+// the given seeds. The base's TransferBytes is ignored.
+func IORTransferSweep(base IORConfig, ks []int, seeds []int64) []TransferPoint {
+	base.defaults()
+	var out []TransferPoint
+	for _, k := range ks {
+		pt := TransferPoint{K: k, TransferBytes: base.BlockBytes / int64(k)}
+		sum := 0.0
+		for _, seed := range seeds {
+			cfg := base
+			cfg.TransferBytes = pt.TransferBytes
+			cfg.Seed = seed
+			run := RunIOR(cfg)
+			pt.Runs = append(pt.Runs, run)
+			sum += run.AggregateMBps()
+		}
+		if len(seeds) > 0 {
+			pt.MeanRateMBps = sum / float64(len(seeds))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// WriterPoint is one point of a writer-count sweep.
+type WriterPoint struct {
+	Writers int
+	// WallSec is the time to move the (fixed) total volume, averaged
+	// over the sweep's seeds (a single run's wall is hostage to one
+	// unlucky straggler).
+	WallSec float64
+	Runs    []*Run
+}
+
+// IORWriterSweep runs the §V saturation experiment: a fixed total
+// volume (totalTransfers x transferBytes) divided among each writer
+// count, each task issuing whole transfers and walls averaged over the
+// seeds. Counts that do not divide the work evenly get the rounded-up
+// share.
+func IORWriterSweep(prof cluster.Profile, counts []int, totalTransfers int, transferBytes int64, seeds []int64) []WriterPoint {
+	var out []WriterPoint
+	for _, n := range counts {
+		per := (totalTransfers + n - 1) / n
+		pt := WriterPoint{Writers: n}
+		sum := 0.0
+		for _, seed := range seeds {
+			run := RunIOR(IORConfig{
+				Machine:       prof,
+				Tasks:         n,
+				BlockBytes:    int64(per) * transferBytes,
+				TransferBytes: transferBytes,
+				Reps:          1,
+				Seed:          seed,
+			})
+			pt.Runs = append(pt.Runs, run)
+			sum += float64(run.Wall)
+		}
+		if len(seeds) > 0 {
+			pt.WallSec = sum / float64(len(seeds))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// SaturationPoint returns the smallest writer count whose wall time is
+// within slack (e.g. 1.5) of the best point's, and that best wall.
+func SaturationPoint(points []WriterPoint, slack float64) (writers int, bestWall float64) {
+	if len(points) == 0 {
+		return 0, 0
+	}
+	best := points[0].WallSec
+	for _, p := range points[1:] {
+		if p.WallSec < best {
+			best = p.WallSec
+		}
+	}
+	for _, p := range points {
+		if p.WallSec <= slack*best {
+			return p.Writers, best
+		}
+	}
+	return points[len(points)-1].Writers, best
+}
