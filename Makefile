@@ -1,0 +1,34 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race lint fmt vet fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# lint = everything static: formatting, go vet, and the project's own
+# determinism/statistics multichecker (see cmd/ensemblelint).
+lint: fmt vet
+	$(GO) run ./cmd/ensemblelint ./...
+
+# One target per invocation: go test allows a single -fuzz pattern
+# match per run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='FuzzTraceDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
+	$(GO) test -run='^$$' -fuzz='FuzzTraceDecodeJSONL$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
+	$(GO) test -run='^$$' -fuzz='FuzzProfileJSON$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
+
+ci: build lint race fuzz-smoke

@@ -1,0 +1,82 @@
+// Command ensemblelint is the project's static-analysis multichecker.
+// It enforces the determinism and statistical-correctness invariants
+// the reproduction depends on (see DESIGN.md, "Determinism
+// invariants"):
+//
+//	simpurity  no wall clock, global math/rand, or scheduler
+//	           dependence inside the simulator packages
+//	maporder   no map-iteration order leaking into output or
+//	           statistics
+//	floateq    no ==/!= between computed floats in statistics code
+//	errclose   no silently dropped Close/Flush/Write errors in the
+//	           persistence layer and CLIs
+//
+// Usage:
+//
+//	ensemblelint [-run names] [-list] [packages]
+//
+// With no packages, ./... is checked. A finding can be suppressed
+// with a justification comment on its line or the line above:
+//
+//	//lint:allow floateq sort comparator needs exact ordering
+//
+// Exit status is 1 when any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ensembleio/internal/lint"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
+		}
+		return
+	}
+	if *run != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ensemblelint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ensemblelint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ensemblelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -82,14 +82,24 @@ func main() {
 	}
 
 	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := ensembleio.SaveTrace(f, run); err != nil {
+		if err := saveTrace(*trace, run); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ntrace written to %s\n", *trace)
 	}
+}
+
+// saveTrace persists the run, surfacing write errors deferred to
+// close time (a trace truncated by ENOSPC must not pass silently).
+func saveTrace(path string, run *ensembleio.Run) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.SaveTrace(f, run)
 }

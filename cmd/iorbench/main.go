@@ -97,12 +97,18 @@ func effTransfer(block, transfer int64) int64 {
 	return transfer
 }
 
-func saveTrace(path string, run *ensembleio.Run, jsonOut bool) error {
+func saveTrace(path string, run *ensembleio.Run, jsonOut bool) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Write errors can surface at close; a truncated trace must not
+	// pass silently.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if jsonOut {
 		return ensembleio.SaveTraceJSON(f, run)
 	}

@@ -102,19 +102,27 @@ func main() {
 	}
 
 	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if *jsonOut {
-			err = ensembleio.SaveTraceJSON(f, run)
-		} else {
-			err = ensembleio.SaveTrace(f, run)
-		}
-		if err != nil {
+		if err := saveTrace(*trace, run, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ntrace written to %s\n", *trace)
 	}
+}
+
+// saveTrace persists the run, surfacing write errors deferred to
+// close time (a trace truncated by ENOSPC must not pass silently).
+func saveTrace(path string, run *ensembleio.Run, jsonOut bool) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if jsonOut {
+		return ensembleio.SaveTraceJSON(f, run)
+	}
+	return ensembleio.SaveTrace(f, run)
 }

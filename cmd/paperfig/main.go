@@ -130,8 +130,14 @@ func main() {
 		}
 		fmt.Fprintf(txt, "Figure %s — %s\n\n", f.id, f.desc)
 		summary, err := f.gen(txt, csv)
-		txt.Close()
-		csv.Close()
+		// Close errors are write errors: a figure truncated by ENOSPC
+		// must not be reported as regenerated.
+		if cerr := txt.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := csv.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatalf("fig %s: %v", f.id, err)
 		}
@@ -244,9 +250,22 @@ func fig2(txt, csv io.Writer) (string, error) {
 			counts[e.Rank]++
 			sums[[2]int{e.Rank, rep}] += float64(e.Dur)
 		}
+		// Fold per-task totals in sorted (rank, rep) order so the
+		// dataset — and every figure derived from it — is
+		// byte-reproducible across runs.
+		taskKeys := make([][2]int, 0, len(sums))
+		for tk := range sums {
+			taskKeys = append(taskKeys, tk)
+		}
+		sort.Slice(taskKeys, func(i, j int) bool {
+			if taskKeys[i][0] != taskKeys[j][0] {
+				return taskKeys[i][0] < taskKeys[j][0]
+			}
+			return taskKeys[i][1] < taskKeys[j][1]
+		})
 		d := ensembleio.NewDataset(nil)
-		for _, v := range sums {
-			d.Add(v)
+		for _, tk := range taskKeys {
+			d.Add(sums[tk])
 		}
 		h := ensembleio.NewHistogram(ensembleio.LinearBins(0, d.Max()*1.01, 60))
 		h.AddAll(d)

@@ -137,7 +137,7 @@ func load(path string) ([]ipmio.Event, []ipmio.PhaseMark, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errclose file opened read-only
 	br := bufio.NewReader(f)
 	first, err := br.Peek(1)
 	if err != nil {

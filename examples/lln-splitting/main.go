@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"ensembleio"
 	"ensembleio/internal/report"
@@ -47,9 +48,21 @@ func main() {
 			counts[e.Rank]++
 			sums[[2]int{e.Rank, rep}] += float64(e.Dur)
 		}
+		// Fold totals in sorted (rank, rep) order so the ensemble is
+		// reproducible run to run.
+		taskKeys := make([][2]int, 0, len(sums))
+		for tk := range sums {
+			taskKeys = append(taskKeys, tk)
+		}
+		sort.Slice(taskKeys, func(i, j int) bool {
+			if taskKeys[i][0] != taskKeys[j][0] {
+				return taskKeys[i][0] < taskKeys[j][0]
+			}
+			return taskKeys[i][1] < taskKeys[j][1]
+		})
 		totals := ensembleio.NewDataset(nil)
-		for _, v := range sums {
-			totals.Add(v)
+		for _, tk := range taskKeys {
+			totals.Add(sums[tk])
 		}
 
 		rows = append(rows, []string{

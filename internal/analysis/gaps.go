@@ -43,7 +43,8 @@ func Gaps(events []ipmio.Event, minGap sim.Duration) []Gap {
 		byRank[e.Rank] = append(byRank[e.Rank], e)
 	}
 	var out []Gap
-	for rank, evs := range byRank {
+	for _, rank := range sortedRanks(byRank) {
+		evs := byRank[rank]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
 		var lastEnd sim.Time
 		first := true
@@ -58,12 +59,24 @@ func Gaps(events []ipmio.Event, minGap sim.Duration) []Gap {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floateq sort comparators need exact ordering for determinism
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
 		return out[i].Rank < out[j].Rank
 	})
 	return out
+}
+
+// sortedRanks returns the map's keys in increasing order, so
+// iteration over per-rank aggregates is deterministic.
+func sortedRanks[V any](m map[int]V) []int {
+	ranks := make([]int, 0, len(m))
+	for r := range m {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 // RankActivities computes per-rank busy and exclusive-busy time with a
@@ -100,6 +113,7 @@ func RankActivities(events []ipmio.Event) []RankActivity {
 		t := bounds[i].t
 		// Apply all boundaries at this instant; account per-rank busy
 		// time and job-wide exclusive time only at transitions.
+		//lint:allow floateq grouping boundaries at the bit-identical instant is intended
 		for i < len(bounds) && bounds[i].t == t {
 			b := bounds[i]
 			was := depth[b.rank]
@@ -123,22 +137,21 @@ func RankActivities(events []ipmio.Event) []RankActivity {
 		}
 		if soloRank < 0 && len(active) == 1 {
 			for r := range active {
-				soloRank = r
+				soloRank = r //lint:allow maporder active holds exactly one rank here
 			}
 			soloSince = t
 		}
 	}
 
 	var out []RankActivity
-	for rank, n := range counts {
+	for _, rank := range sortedRanks(counts) {
 		out = append(out, RankActivity{
 			Rank:      rank,
-			Events:    n,
+			Events:    counts[rank],
 			Busy:      busy[rank],
 			Exclusive: exclusive[rank],
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
 	return out
 }
 

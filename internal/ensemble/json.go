@@ -3,7 +3,14 @@ package ensemble
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
+
+// bad reports whether a mass value is unusable (negative or
+// non-finite).
+func bad(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+}
 
 // JSON encoding for histograms: the paper's conclusion argues that it
 // is usually unnecessary to store the bulk of the performance data —
@@ -41,10 +48,27 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	if len(raw.Counts) != len(raw.Edges)-1 {
 		return fmt.Errorf("ensemble: %d counts for %d bins", len(raw.Counts), len(raw.Edges)-1)
 	}
+	// NaN edges would slip past the ordering check below (every
+	// comparison with NaN is false) and poison every statistic
+	// computed from the histogram, so reject non-finite geometry and
+	// negative mass outright.
+	for i, e := range raw.Edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("ensemble: non-finite bin edge at %d", i)
+		}
+	}
 	for i := 1; i < len(raw.Edges); i++ {
 		if raw.Edges[i] <= raw.Edges[i-1] {
 			return fmt.Errorf("ensemble: bin edges not increasing at %d", i)
 		}
+	}
+	for i, c := range raw.Counts {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			return fmt.Errorf("ensemble: bad count %v at %d", c, i)
+		}
+	}
+	if bad(raw.Underflow) || bad(raw.Overflow) {
+		return fmt.Errorf("ensemble: bad under/overflow mass")
 	}
 	h.Bins = Bins{Edges: raw.Edges, Log: raw.Log}
 	h.counts = raw.Counts

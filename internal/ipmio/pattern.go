@@ -1,6 +1,9 @@
 package ipmio
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file implements the paper's stated future work (§VI): extending
 // the IPM-I/O framework "to detect an application's I/O patterns; thus
@@ -161,9 +164,16 @@ func (pd *PatternDetector) Summarize(op Op) PatternSummary {
 			out.Unknown++
 		}
 	}
+	// Pick the dominant stride over sorted keys so ties break toward
+	// the smallest stride deterministically instead of by map order.
+	strideKeys := make([]int64, 0, len(strides))
+	for s := range strides {
+		strideKeys = append(strideKeys, s)
+	}
+	sort.Slice(strideKeys, func(i, j int) bool { return strideKeys[i] < strideKeys[j] })
 	best := 0
-	for s, n := range strides {
-		if n > best {
+	for _, s := range strideKeys {
+		if n := strides[s]; n > best {
 			best, out.DominantStride = n, s
 		}
 	}

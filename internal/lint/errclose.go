@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClose flags silently dropped errors from Close, Flush, Sync,
+// Write and WriteString calls in the trace-persistence package and
+// the CLIs. A trace or profile that hit ENOSPC at close is corrupt;
+// an analysis pipeline that keeps going anyway "succeeds" with wrong
+// statistics. Handle the error, or discard it visibly with `_ =`, or
+// justify it with `//lint:allow errclose <why>` (the common case: a
+// deferred Close of a file opened read-only).
+var ErrClose = &Analyzer{
+	Name: "errclose",
+	Doc: `flag dropped errors from Close/Flush/Sync/Write in the
+persistence layer and CLIs; handle the error, assign it to _
+explicitly, or //lint:allow errclose with a justification`,
+	Match: func(path string) bool {
+		return path == "ensembleio/internal/tracefmt" || prefixMatcher("ensembleio/cmd")(path)
+	},
+	Run: runErrClose,
+}
+
+// droppableMethods return errors that callers habitually discard.
+var droppableMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true,
+	"Write": true, "WriteString": true,
+}
+
+func runErrClose(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+				how = "call"
+			case *ast.DeferStmt:
+				call = st.Call
+				how = "deferred call"
+			case *ast.GoStmt:
+				call = st.Call
+				how = "go statement"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !droppableMethods[sel.Sel.Name] {
+				return true
+			}
+			if s := pass.Info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error from %s %s is dropped; handle it, assign to _, or //lint:allow errclose with a justification", how, exprString(sel))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	check := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if check(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return check(t)
+	}
+}
+
+// exprString renders a selector like "f.Close" for diagnostics.
+func exprString(sel *ast.SelectorExpr) string {
+	if x, ok := sel.X.(*ast.Ident); ok {
+		return x.Name + "." + sel.Sel.Name
+	}
+	return "(...)." + sel.Sel.Name
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands in the
+// statistics packages. Accumulated rounding makes exact equality of
+// computed floats meaningless (and a silent source of statistical
+// bugs: a KS distance that is "equal" on one platform and not on
+// another); compare against an epsilon instead.
+//
+// One comparison stays legal without annotation: testing against the
+// exact-zero constant. Zero is a sentinel ("no weight yet", "empty
+// variance"), is exactly representable, and the idiom `if total == 0`
+// is how the codebase guards divisions. Anything else — two computed
+// values, or a nonzero literal — needs an epsilon comparison or a
+// `//lint:allow floateq <why>` justification (e.g. a sort comparator
+// that must order exactly).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: `flag ==/!= between float operands in statistics code; use an
+epsilon comparison, or //lint:allow floateq with a justification
+(comparisons against the exact-zero sentinel are permitted)`,
+	Match: prefixMatcher(
+		"ensembleio/internal/ensemble",
+		"ensembleio/internal/analysis",
+		"ensembleio/internal/report",
+	),
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.typeOf(be.X)) || !isFloat(pass.typeOf(be.Y)) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "floating-point %s comparison on computed values; use an epsilon (or //lint:allow floateq with a justification)", be.Op)
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether e is a compile-time constant equal to
+// zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package lint
+
+import "testing"
+
+// Each analyzer is exercised against a golden testdata package that
+// contains at least one flagged and one allowed construct per rule
+// (see testdata/src/*), in the style of analysistest.
+
+func TestSimPurity(t *testing.T) {
+	RunAnalyzerTest(t, SimPurity, "./testdata/src/simpurity")
+}
+
+func TestMapOrder(t *testing.T) {
+	RunAnalyzerTest(t, MapOrder, "./testdata/src/maporder")
+}
+
+func TestFloatEq(t *testing.T) {
+	RunAnalyzerTest(t, FloatEq, "./testdata/src/floateq")
+}
+
+func TestErrClose(t *testing.T) {
+	RunAnalyzerTest(t, ErrClose, "./testdata/src/errclose")
+}
+
+// TestMatchScopes pins the package scoping of each analyzer: the
+// determinism rules bind the simulator, the statistics rules bind the
+// ensemble/analysis/report layers, and the persistence rules bind
+// tracefmt and the CLIs.
+func TestMatchScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{SimPurity, "ensembleio/internal/sim", true},
+		{SimPurity, "ensembleio/internal/workloads", true},
+		{SimPurity, "ensembleio/internal/ensemble", false},
+		{SimPurity, "ensembleio/internal/simulator", false}, // prefix must respect path boundaries
+		{MapOrder, "ensembleio/cmd/paperfig", true},         // maporder is global
+		{FloatEq, "ensembleio/internal/ensemble", true},
+		{FloatEq, "ensembleio/internal/sim", false},
+		{ErrClose, "ensembleio/internal/tracefmt", true},
+		{ErrClose, "ensembleio/cmd/tracestat", true},
+		{ErrClose, "ensembleio/internal/report", false},
+	}
+	for _, c := range cases {
+		got := c.analyzer.Match == nil || c.analyzer.Match(c.path)
+		if got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the whole module: the tree
+// must stay free of findings (the same gate CI applies via
+// `go run ./cmd/ensemblelint ./...`).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("finding: %s", d)
+	}
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// This file is the project's stand-in for
+// golang.org/x/tools/go/analysis/analysistest: golden testdata
+// packages annotated with `// want` comments, each holding a
+// backquoted regexp that must match a finding reported on that line.
+//
+//	rand.Seed(1) // want `global math/rand`
+//
+// Lines without a want comment must produce no finding, so every
+// testdata package doubles as a corpus of allowed constructs.
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// RunAnalyzerTest loads the testdata package at pattern (relative to
+// the test's working directory, e.g. "./testdata/src/floateq"), runs
+// one analyzer on it, and compares findings against `// want`
+// comments. Match is bypassed — testdata packages live outside the
+// import paths the analyzers are scoped to — but //lint:allow
+// suppression stays active so testdata can exercise the escape hatch.
+func RunAnalyzerTest(t *testing.T, a *Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := Load(".", pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("pattern %s matched %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					k := key(pos.Filename, pos.Line)
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range runOne(pkg, a, allowedLines(pkg)) {
+		k := key(d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

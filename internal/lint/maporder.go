@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for ... range` over a map whose body lets the
+// random iteration order leak into results: appending to a slice that
+// is never sorted afterwards, writing output or feeding a
+// histogram/report mid-iteration, accumulating floating-point sums
+// (float addition is not associative, so the rounding depends on
+// visit order), or selecting a key into an outer variable (ties in
+// argmax-style reductions resolve differently run to run).
+//
+// The fix is to iterate over sorted keys; a range whose appends are
+// followed by a sort of the same slice in the enclosing function is
+// accepted as already ordered.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: `flag map iteration whose order can reach output or statistics:
+append-without-sort, mid-iteration writes, float accumulation, and
+key selection into outer variables`,
+	Run: runMapOrder,
+}
+
+// outputFmtFuncs are fmt functions that emit directly to a sink.
+var outputFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// statSinkMethods are methods that fold a value into an accumulator
+// whose result depends on insertion order (histograms, datasets,
+// encoders).
+var statSinkMethods = map[string]bool{
+	"Add": true, "AddW": true, "AddAll": true, "Observe": true,
+	"Record": true, "Encode": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncMapOrder(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncMapOrder(pass *Pass, body *ast.BlockStmt) {
+	sorts := sortedSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // nested closures get their own visit
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rs, sorts)
+		return true
+	})
+}
+
+// sortCall records one "sort this slice" call site.
+type sortCall struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// sortedSlices finds every sort.*/slices.Sort* call in the function
+// whose argument is a plain identifier, possibly wrapped in a
+// one-argument conversion (sort.Sort(byStart(out))).
+func sortedSlices(pass *Pass, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		arg := call.Args[0]
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = conv.Args[0]
+		}
+		if ident, ok := arg.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[ident]; obj != nil {
+				out = append(out, sortCall{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
+	keyObj := declaredObj(pass, rs.Key)
+	inRange := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+	}
+	sortedAfter := func(obj types.Object) bool {
+		for _, s := range sorts {
+			if s.obj == obj && s.pos >= rs.End() {
+				return true
+			}
+		}
+		return false
+	}
+	usesKey := func(e ast.Expr) bool {
+		if keyObj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	isMapIndex := func(e ast.Expr) bool {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		tv, ok := pass.Info.Types[ix.X]
+		if !ok {
+			return false
+		}
+		_, isMap := tv.Type.Underlying().(*types.Map)
+		return isMap
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				// append into an outer slice: fine only if that slice
+				// is sorted after the loop.
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && i < len(st.Lhs) {
+					if ident, ok := st.Lhs[i].(*ast.Ident); ok {
+						obj := pass.Info.Uses[ident]
+						if obj == nil {
+							obj = pass.Info.Defs[ident]
+						}
+						if obj != nil && !sortedAfter(obj) {
+							pass.Reportf(st.Pos(), "append to %s in map-iteration order with no subsequent sort; iterate over sorted keys or sort %s before use", ident.Name, ident.Name)
+						}
+					}
+				}
+			}
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			// Key escaping to an outer variable: argmax-style
+			// reductions resolve ties in random order.
+			for i, lhs := range st.Lhs {
+				if isMapIndex(lhs) {
+					continue
+				}
+				rhs := st.Rhs[0]
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				// Appends are judged by the sort-aware rule above.
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					continue
+				}
+				if usesKey(rhs) {
+					pass.Reportf(st.Pos(), "map key %s escapes the loop in nondeterministic iteration order; iterate over sorted keys", keyObj.Name())
+					break
+				}
+			}
+			// Float accumulation: addition order changes the rounding.
+			if st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN || st.Tok == token.MUL_ASSIGN || st.Tok == token.QUO_ASSIGN {
+				lhs := st.Lhs[0]
+				if !isMapIndex(lhs) && isFloat(pass.typeOf(lhs)) {
+					if ident, ok := lhs.(*ast.Ident); !ok || !inRange(pass.Info.Uses[ident]) {
+						pass.Reportf(st.Pos(), "floating-point accumulation in map-iteration order is not bit-deterministic; iterate over sorted keys")
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if name, kind := sinkCall(pass, call); kind != "" {
+					pass.Reportf(st.Pos(), "%s feeds %s in map-iteration order; iterate over sorted keys", name, kind)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if usesKey(res) {
+					pass.Reportf(st.Pos(), "map key %s returned from nondeterministic iteration order; iterate over sorted keys", keyObj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sinkCall classifies a call as an output or statistics sink.
+func sinkCall(pass *Pass, call *ast.CallExpr) (name, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.Info.Uses[ident].(*types.PkgName); ok {
+			if pkgName.Imported().Path() == "fmt" && outputFmtFuncs[sel.Sel.Name] {
+				return "fmt." + sel.Sel.Name, "output"
+			}
+			return "", ""
+		}
+	}
+	if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		if statSinkMethods[sel.Sel.Name] {
+			return sel.Sel.Name, "a statistics accumulator"
+		}
+		if len(sel.Sel.Name) > 5 && sel.Sel.Name[:5] == "Write" || sel.Sel.Name == "Write" || sel.Sel.Name == "WriteString" {
+			return sel.Sel.Name, "output"
+		}
+	}
+	return "", ""
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[ident].(*types.Builtin)
+	return isBuiltin
+}
+
+// declaredObj returns the object bound by a range clause variable.
+func declaredObj(pass *Pass, e ast.Expr) types.Object {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[ident]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[ident]
+}
+
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimPurity enforces the engine's determinism contract inside the
+// simulator packages: internal/sim promises bit-identical runs for a
+// given seed "regardless of GOMAXPROCS", which no code on the
+// simulated side may undermine by consulting the wall clock, the
+// global (process-wide, racily seeded) math/rand generator, or the
+// Go scheduler's configuration.
+var SimPurity = &Analyzer{
+	Name: "simpurity",
+	Doc: `forbid wall-clock time, global math/rand, and scheduler-sensitive
+runtime calls in simulator packages; use the sim.Engine virtual clock
+(sim.Time) and the engine's seeded *sim.RNG instead`,
+	Match: prefixMatcher(
+		"ensembleio/internal/sim",
+		"ensembleio/internal/mpi",
+		"ensembleio/internal/lustre",
+		"ensembleio/internal/posixio",
+		"ensembleio/internal/ipmio",
+		"ensembleio/internal/workloads",
+	),
+	Run: runSimPurity,
+}
+
+// wallClockFuncs are the "time" package entry points that read or
+// depend on real time. Pure values (time.Duration, time.Second) stay
+// legal: only observing the clock breaks determinism.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandCtors are the only math/rand entry points a simulator
+// package may touch: constructors for explicitly seeded generators.
+// Everything else (rand.Float64, rand.Intn, rand.Seed, ...) drives
+// the shared global source.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// schedulerFuncs are runtime calls whose results vary with core count
+// or goroutine interleaving.
+var schedulerFuncs = map[string]bool{
+	"GOMAXPROCS": true, "NumCPU": true, "NumGoroutine": true, "Gosched": true,
+}
+
+func runSimPurity(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(), "wall-clock time.%s in simulator code; use the sim.Engine virtual clock (sim.Time) so runs are deterministic", name)
+				}
+			case "math/rand", "math/rand/v2":
+				// Referencing a type (rand.Rand, rand.Source) is fine;
+				// only package-level functions and variables reach the
+				// global generator.
+				if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
+					return true
+				}
+				if !seededRandCtors[name] {
+					pass.Reportf(sel.Pos(), "global math/rand %s in simulator code; draw variates from the engine's seeded *sim.RNG", name)
+				}
+			case "runtime":
+				if schedulerFuncs[name] {
+					pass.Reportf(sel.Pos(), "scheduler-sensitive runtime.%s in simulator code; simulation results must not depend on GOMAXPROCS or goroutine scheduling", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Package errclose is golden testdata: dropped persistence errors and
+// the sanctioned ways to handle them.
+package errclose
+
+import (
+	"bufio"
+	"os"
+)
+
+func dropped(f *os.File, w *bufio.Writer) {
+	f.Close()       // want `error from call f.Close is dropped`
+	defer f.Close() // want `error from deferred call f.Close is dropped`
+	w.Flush()       // want `error from call w.Flush is dropped`
+	w.Write(nil)    // want `error from call w.Write is dropped`
+	f.Sync()        // want `error from call f.Sync is dropped`
+}
+
+func handled(f *os.File, w *bufio.Writer) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.Write(nil); err != nil {
+		return err
+	}
+	_ = f.Close() // ok: visibly discarded
+	//lint:allow errclose file was opened read-only
+	defer f.Close()
+	return nil
+}
+
+type notifier struct{}
+
+func (notifier) Close() {}
+
+func noErrorResult(n notifier) {
+	n.Close() // ok: returns nothing to drop
+}

@@ -1,0 +1,39 @@
+// Package floateq is golden testdata: float equality comparisons and
+// their sanctioned forms.
+package floateq
+
+import "math"
+
+type seconds float64
+
+func flagged(a, b float64) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	return a != b+1 // want `floating-point != comparison`
+}
+
+func namedFloatType(a, b seconds) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func nonzeroLiteral(x float64) bool {
+	return x == 0.5 // want `floating-point == comparison`
+}
+
+func zeroSentinel(total float64) bool {
+	// Exact-zero tests are the codebase's division guards; zero is
+	// exactly representable, so this comparison is well-defined.
+	return total == 0 || total != 0.0
+}
+
+func epsilon(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9 // the sanctioned comparison
+}
+
+func justified(xs []float64) bool {
+	//lint:allow floateq sort comparators need exact ordering for determinism
+	return xs[0] != xs[1]
+}
+
+func intsAreFine(a, b int) bool { return a == b }

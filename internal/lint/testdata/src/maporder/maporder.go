@@ -1,0 +1,77 @@
+// Package maporder is golden testdata: map iterations whose order
+// leaks into results, next to the sanctioned patterns.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out in map-iteration order`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted before use
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printsDuringIteration(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println feeds output in map-iteration order`
+	}
+}
+
+func argmaxTieBreak(m map[string]int) string {
+	best, bestN := "", -1
+	for k, n := range m {
+		if n > bestN {
+			best, bestN = k, n // want `map key k escapes the loop`
+		}
+	}
+	return best
+}
+
+func returnsKey(m map[string]bool) string {
+	for k, ok := range m {
+		if ok {
+			return k // want `map key k returned from nondeterministic iteration`
+		}
+	}
+	return ""
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation in map-iteration order`
+	}
+	return total
+}
+
+func orderInsensitive(m map[string]int) int {
+	// Integer reductions and map-to-map writes don't depend on order.
+	n := 0
+	inverse := make(map[int]string)
+	for k, v := range m {
+		n += v
+		inverse[v] = k
+	}
+	return n
+}
+
+func justifiedEscape(m map[string]struct{}) string {
+	var only string
+	for k := range m {
+		only = k //lint:allow maporder the set holds exactly one element here
+	}
+	return only
+}

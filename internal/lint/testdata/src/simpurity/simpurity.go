@@ -1,0 +1,36 @@
+// Package simpurity is golden testdata: simulator-purity violations
+// and their legal counterparts.
+package simpurity
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()                     // want `wall-clock time.Now`
+	_ = time.Since(time.Time{})        // want `wall-clock time.Since`
+	time.Sleep(time.Second)            // want `wall-clock time.Sleep`
+	_ = rand.Int()                     // want `global math/rand Int`
+	_ = rand.Float64()                 // want `global math/rand Float64`
+	rand.Shuffle(0, func(i, j int) {}) // want `global math/rand Shuffle`
+	runtime.GOMAXPROCS(0)              // want `scheduler-sensitive runtime.GOMAXPROCS`
+	_ = runtime.NumCPU()               // want `scheduler-sensitive runtime.NumCPU`
+}
+
+func allowed() {
+	// Seeded generators are the sanctioned source of variates.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Float64()
+	// Pure time values don't read the clock.
+	const tick = 3 * time.Second
+	_ = tick
+	// Type references are not draws from the global source.
+	var src rand.Source = rand.NewSource(1)
+	_ = src
+	// Justified escape hatch.
+	//lint:allow simpurity timing instrumentation for a debug build
+	_ = time.Now()
+	_ = runtime.Version() // scheduler-insensitive runtime call
+}

@@ -87,6 +87,11 @@ func ReadJSONL(r io.Reader) ([]ipmio.Event, []ipmio.PhaseMark, error) {
 
 const binMagic = "IPMB1\n"
 
+// maxStringLen bounds decoded path and mark names: well past any real
+// file path, small enough that a corrupt length field cannot force a
+// huge allocation.
+const maxStringLen = 1 << 20
+
 const (
 	kindEvent = 0
 	kindMark  = 1
@@ -206,6 +211,11 @@ func ReadBinary(r io.Reader) ([]ipmio.Event, []ipmio.PhaseMark, error) {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return "", err
+		}
+		// A corrupt or adversarial trace can claim an absurd length;
+		// bound the allocation before trusting it.
+		if n > maxStringLen {
+			return "", fmt.Errorf("tracefmt: string length %d exceeds limit %d", n, maxStringLen)
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(br, b); err != nil {
