@@ -1,7 +1,11 @@
 GO ?= go
 FUZZTIME ?= 10s
+# bench knobs: BENCHTIME=1x gives one iteration per benchmark (the CI
+# smoke setting); raise it (e.g. 2s) for a low-noise baseline.
+BENCHTIME ?= 1x
+BENCHCOUNT ?= 3
 
-.PHONY: build test race lint fmt vet fuzz-smoke ci
+.PHONY: build test race lint fmt vet fuzz-smoke bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +28,20 @@ vet:
 lint: fmt vet
 	$(GO) run ./cmd/ensemblelint ./...
 
+# bench: run every benchmark in the repo BENCHCOUNT times and rewrite
+# the checked-in perf baseline. BENCH_ensembleio.json maps each
+# benchmark to metric-name -> values (benchstat-comparable via the
+# embedded raw lines); future PRs regress against it.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./... > bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_ensembleio.json
+	@rm -f bench.out
+	@echo "wrote BENCH_ensembleio.json"
+
+# bench-smoke: every benchmark compiles and survives one iteration.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 ./...
+
 # One target per invocation: go test allows a single -fuzz pattern
 # match per run.
 fuzz-smoke:
@@ -31,4 +49,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzTraceDecodeJSONL$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzProfileJSON$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 
-ci: build lint race fuzz-smoke
+ci: build lint race bench-smoke fuzz-smoke

@@ -32,18 +32,29 @@ func BenchmarkFig1_IOR512(b *testing.B) {
 
 // --- Figure 2: transfer splitting (Law of Large Numbers) ---
 
+// BenchmarkFig2_LLN regenerates the whole Figure 2 ensemble per
+// iteration — the transfer sweep over k=1,2,4,8 averaged over three
+// seeds, exactly the experiment cmd/paperfig renders — through the
+// runpool-parallel sweep driver. This is the headline perf number for
+// "regenerate the paper's artifacts": twelve independent simulations
+// fanned across all cores with an ordered (byte-stable) reduction.
 func BenchmarkFig2_LLN(b *testing.B) {
-	for _, k := range []int{1, 2, 4, 8} {
-		k := k
-		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				run := RunIOR(IORConfig{
-					Machine: Franklin(), Tasks: 1024, Reps: 5,
-					TransferBytes: 512e6 / int64(k), Seed: int64(i + 1),
-				})
-				reportRun(b, run)
-			}
-		})
+	for i := 0; i < b.N; i++ {
+		pts := IORTransferSweep(IORConfig{Machine: Franklin(), Tasks: 1024, Reps: 5},
+			[]int{1, 2, 4, 8}, []int64{1, 2, 3})
+		b.ReportMetric(pts[0].MeanRateMBps, "k1_MB/s")
+		b.ReportMetric(pts[len(pts)-1].MeanRateMBps, "k8_MB/s")
+	}
+}
+
+// BenchmarkFig2_LLN_Sequential is the same experiment pinned to one
+// worker — the before/after for the parallel executor (and the
+// reference that -j only changes speed, never results).
+func BenchmarkFig2_LLN_Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := IORTransferSweepJ(IORConfig{Machine: Franklin(), Tasks: 1024, Reps: 5},
+			[]int{1, 2, 4, 8}, []int64{1, 2, 3}, 1)
+		b.ReportMetric(pts[0].MeanRateMBps, "k1_MB/s")
 	}
 }
 
@@ -281,10 +292,30 @@ func cachedBenchRun() *Run {
 	return benchRun
 }
 
-// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
-// seconds per wall second for the largest workload (GCRM baseline,
-// 10,240 tasks).
+// BenchmarkSimulatorThroughput measures raw simulator speed on the
+// largest workload (GCRM baseline, 10,240 tasks): a fixed four-seed
+// ensemble fanned across all cores per iteration. sim_s is the
+// aggregate simulated time delivered per iteration; on an N-core
+// runner the runpool fan-out plus the typed event heap should deliver
+// it severalfold faster than the old one-run-at-a-time loop.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	seeds := []int64{1, 2, 3, 4}
+	for i := 0; i < b.N; i++ {
+		runs := RunMany(0, seeds, func(s int64) *Run {
+			return RunGCRM(GCRMConfig{Machine: Franklin(), Seed: s})
+		})
+		simSec := 0.0
+		for _, r := range runs {
+			simSec += float64(r.Wall)
+		}
+		b.ReportMetric(simSec, "sim_s")
+	}
+}
+
+// BenchmarkSimulatorThroughputSingle is one GCRM run per iteration —
+// the single-thread engine hot path in isolation (event heap, RNG,
+// flusher), with no fan-out masking regressions.
+func BenchmarkSimulatorThroughputSingle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := RunGCRM(GCRMConfig{Machine: Franklin(), Seed: int64(i + 1)})
 		b.ReportMetric(float64(run.Wall), "sim_s")

@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` text output (on stdin)
+// into the repo's perf-baseline format: a JSON object mapping each
+// benchmark to its metric name → values series (one value per -count
+// repetition, in run order), plus the host context lines and the raw
+// benchmark lines so benchstat can re-consume the measurement.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 ./... | benchjson > BENCH_ensembleio.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline is the checked-in BENCH_ensembleio.json shape. Maps
+// serialize with sorted keys, so regenerating the file produces a
+// stable diff.
+type baseline struct {
+	// Context holds the goos/goarch/pkg/cpu lines the bench run
+	// printed (pkg appears once per package with benchmarks).
+	Context map[string][]string `json:"context"`
+	// Benchmarks maps "BenchmarkName-P" → metric → values.
+	Benchmarks map[string]map[string][]float64 `json:"benchmarks"`
+	// Raw keeps the untouched benchmark lines: `benchstat
+	// <(jq -r '.raw[]' BENCH_ensembleio.json) new.txt` compares a
+	// fresh run against this baseline.
+	Raw []string `json:"raw"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	out := baseline{
+		Context:    map[string][]string{},
+		Benchmarks: map[string]map[string][]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				out.Context[key] = append(out.Context[key], v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		m := out.Benchmarks[name]
+		if m == nil {
+			m = map[string][]float64{}
+			out.Benchmarks[name] = m
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m["iters"] = append(m["iters"], iters)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = append(m[fields[i+1]], v)
+		}
+		out.Raw = append(out.Raw, line)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(out.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+
+	// Encode straight to stdout: a write error (ENOSPC on a redirected
+	// baseline file) must not pass silently.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	ensemblecmp A.trace B.trace
-//	ensemblecmp -profiles A.prof.json B.prof.json
+//	ensemblecmp [-j N] A.trace B.trace
+//	ensemblecmp [-j N] -profiles A.prof.json B.prof.json
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"ensembleio/internal/ensemble"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/report"
+	"ensembleio/internal/runpool"
 	"ensembleio/internal/tracefmt"
 )
 
@@ -31,17 +32,26 @@ func main() {
 	log.SetPrefix("ensemblecmp: ")
 	profiles := flag.Bool("profiles", false, "inputs are profile JSON files, not traces")
 	ksFlag := flag.Float64("ks", 0, "KS verdict threshold (0 = adaptive: the alpha=0.001 two-sample critical value, at least 0.1)")
+	jobs := flag.Int("j", 0, "parallel input loaders (0 = all cores)")
 	flag.Parse()
 	ksThreshold = *ksFlag
 	if flag.NArg() != 2 {
-		log.Fatal("usage: ensemblecmp [-profiles] A B")
+		log.Fatal("usage: ensemblecmp [-profiles] [-j N] A B")
 	}
+	paths := []string{flag.Arg(0), flag.Arg(1)}
 
 	if *profiles {
-		compareProfiles(flag.Arg(0), flag.Arg(1))
+		// The two inputs decode independently; fan them across the pool.
+		ps := runpool.Map(*jobs, paths, func(_ int, p string) *tracefmt.Profile {
+			return loadProfile(p)
+		})
+		compareProfiles(ps[0], ps[1])
 		return
 	}
-	compareTraces(flag.Arg(0), flag.Arg(1))
+	evs := runpool.Map(*jobs, paths, func(_ int, p string) []ipmio.Event {
+		return loadEvents(p)
+	})
+	compareTraces(paths[0], paths[1], evs[0], evs[1])
 }
 
 // ksThreshold is the fixed verdict threshold (0 = adaptive).
@@ -62,9 +72,7 @@ func ksLimit(nA, nB int) float64 {
 	return c
 }
 
-func compareTraces(pathA, pathB string) {
-	evA := loadEvents(pathA)
-	evB := loadEvents(pathB)
+func compareTraces(pathA, pathB string, evA, evB []ipmio.Event) {
 	fmt.Printf("%s: %d events   %s: %d events\n\n", pathA, len(evA), pathB, len(evB))
 
 	rows := [][]string{{"op", "n(A)", "n(B)", "KS", "Wasserstein (s)", "verdict"}}
@@ -127,9 +135,7 @@ func compareTraces(pathA, pathB string) {
 	}
 }
 
-func compareProfiles(pathA, pathB string) {
-	pA := loadProfile(pathA)
-	pB := loadProfile(pathB)
+func compareProfiles(pA, pB *tracefmt.Profile) {
 	rows := [][]string{{"op", "mean(A)", "mean(B)", "p95(A)", "p95(B)", "verdict"}}
 	bad := false
 	for op := ensembleio.OpOpen; op <= ensembleio.OpFsync; op++ {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	paperfig [-out DIR] [-fig 1a|1b|1c|2|4|5a|5b|5c|6|writers|all] [-seed N]
+//	paperfig [-out DIR] [-fig 1a|1b|1c|2|4|5a|5b|5c|6|writers|all] [-seed N] [-j N]
 package main
 
 import (
@@ -22,39 +22,53 @@ import (
 
 	"ensembleio"
 	"ensembleio/internal/report"
+	"ensembleio/internal/runpool"
 )
 
 var (
 	outDir = flag.String("out", "out", "output directory")
 	figSel = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 2 4 5a 5b 5c 6 writers all)")
 	seed   = flag.Int64("seed", 1, "base run seed")
+	jobs   = flag.Int("j", 0, "parallel simulation workers (0 = all cores; output is identical at any -j)")
 )
 
 // runCache shares simulations between figures (1a/1b/1c use the same
 // IOR run; 4 and 5 share the MADbench runs; the 6-series shares the
-// GCRM ladder).
+// GCRM ladder). It is filled by prewarm before any figure renders and
+// only read afterwards, so figure generation itself stays sequential
+// and byte-stable.
 var runCache = map[string]*ensembleio.Run{}
 
-func cachedRun(key string, f func() *ensembleio.Run) *ensembleio.Run {
-	if r, ok := runCache[key]; ok {
+// runSpec names one simulation a figure needs: a cache key plus a
+// pure constructor (no cache access), so prewarm can execute specs on
+// runpool workers and commit the results in submission order.
+type runSpec struct {
+	key   string
+	build func() *ensembleio.Run
+}
+
+func cachedRun(s runSpec) *ensembleio.Run {
+	if r, ok := runCache[s.key]; ok {
 		return r
 	}
-	r := f()
-	runCache[key] = r
+	r := s.build()
+	runCache[s.key] = r
 	return r
 }
 
-func iorRun(k int, s int64) *ensembleio.Run {
-	return cachedRun(fmt.Sprintf("ior-%d-%d", k, s), func() *ensembleio.Run {
+func iorSpec(k int, s int64) runSpec {
+	return runSpec{fmt.Sprintf("ior-%d-%d", k, s), func() *ensembleio.Run {
 		return ensembleio.RunIOR(ensembleio.IORConfig{
 			Machine: ensembleio.Franklin(), Tasks: 1024, Reps: 5,
 			TransferBytes: 512e6 / int64(k), Seed: s,
 		})
-	})
+	}}
 }
 
-func madRun(machine string) *ensembleio.Run {
-	return cachedRun("mad-"+machine, func() *ensembleio.Run {
+func iorRun(k int, s int64) *ensembleio.Run { return cachedRun(iorSpec(k, s)) }
+
+func madSpec(machine string) runSpec {
+	return runSpec{"mad-" + machine, func() *ensembleio.Run {
 		var m ensembleio.Platform
 		switch machine {
 		case "franklin":
@@ -65,12 +79,14 @@ func madRun(machine string) *ensembleio.Run {
 			m = ensembleio.Jaguar()
 		}
 		return ensembleio.RunMADbench(ensembleio.MADbenchConfig{Machine: m, Seed: *seed})
-	})
+	}}
 }
 
-func gcrmRun(stage int) *ensembleio.Run {
+func madRun(machine string) *ensembleio.Run { return cachedRun(madSpec(machine)) }
+
+func gcrmSpec(stage int) runSpec {
 	names := []string{"baseline", "collective", "aligned", "metaagg"}
-	return cachedRun("gcrm-"+names[stage], func() *ensembleio.Run {
+	return runSpec{"gcrm-" + names[stage], func() *ensembleio.Run {
 		cfg := ensembleio.GCRMConfig{Machine: ensembleio.Franklin(), Seed: *seed}
 		if stage >= 1 {
 			cfg.Aggregators = 80
@@ -82,7 +98,63 @@ func gcrmRun(stage int) *ensembleio.Run {
 			cfg.AggregateMetadata = true
 		}
 		return ensembleio.RunGCRM(cfg)
+	}}
+}
+
+func gcrmRun(stage int) *ensembleio.Run { return cachedRun(gcrmSpec(stage)) }
+
+// specsFor lists the simulations one figure reads from the cache.
+// (The writers sweep is not listed: IORWriterSweepJ parallelizes its
+// own runs.)
+func specsFor(id string) []runSpec {
+	switch id {
+	case "1a", "1b":
+		return []runSpec{iorSpec(1, *seed)}
+	case "5a":
+		return []runSpec{madSpec("franklin")}
+	case "1c":
+		return []runSpec{iorSpec(1, *seed), iorSpec(1, *seed+1)}
+	case "2":
+		var specs []runSpec
+		for _, k := range []int{1, 2, 4, 8} {
+			for s := int64(0); s < 3; s++ {
+				specs = append(specs, iorSpec(k, *seed+s))
+			}
+		}
+		return specs
+	case "4":
+		return []runSpec{madSpec("franklin"), madSpec("jaguar")}
+	case "5b":
+		return []runSpec{madSpec("franklin"), madSpec("patched")}
+	case "5c":
+		return []runSpec{madSpec("franklin"), madSpec("patched"), madSpec("jaguar")}
+	case "6":
+		return []runSpec{gcrmSpec(0), gcrmSpec(1), gcrmSpec(2), gcrmSpec(3)}
+	}
+	return nil
+}
+
+// prewarm fans every simulation the selected figures need across the
+// worker pool, then commits them to the cache in submission order.
+// Every later cache hit is a pure read, so the rendered figures are
+// byte-identical to a fully sequential regeneration.
+func prewarm(ids []string) {
+	var specs []runSpec
+	seen := map[string]bool{}
+	for _, id := range ids {
+		for _, s := range specsFor(id) {
+			if !seen[s.key] {
+				seen[s.key] = true
+				specs = append(specs, s)
+			}
+		}
+	}
+	runs := runpool.Map(*jobs, specs, func(_ int, s runSpec) *ensembleio.Run {
+		return s.build()
 	})
+	for i, s := range specs {
+		runCache[s.key] = runs[i]
+	}
 }
 
 type figure struct {
@@ -112,6 +184,13 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
+	var selected []string
+	for _, f := range figs {
+		if *figSel == "all" || *figSel == f.id {
+			selected = append(selected, f.id)
+		}
+	}
+	prewarm(selected)
 	ran := 0
 	for _, f := range figs {
 		if *figSel != "all" && *figSel != f.id {
@@ -451,8 +530,8 @@ func figWriters(txt, csv io.Writer) (string, error) {
 	// writer count, walls averaged over 3 seeds: a writer count
 	// "saturates" when adding more writers no longer shortens the job.
 	counts := []int{16, 32, 48, 80, 160, 320, 1024}
-	pts := ensembleio.IORWriterSweep(ensembleio.Franklin(), counts, 4096, 512e6,
-		[]int64{*seed, *seed + 1, *seed + 2})
+	pts := ensembleio.IORWriterSweepJ(ensembleio.Franklin(), counts, 4096, 512e6,
+		[]int64{*seed, *seed + 1, *seed + 2}, *jobs)
 	best := pts[len(pts)-1].WallSec
 	for _, p := range pts {
 		if p.WallSec < best {

@@ -93,6 +93,75 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 	}
 }
 
+// sweepArtifacts runs the Figure 2 transfer sweep through the runpool
+// executor at the given worker count and serializes every artifact it
+// produces: the per-point summary line, each run's binary and JSONL
+// trace, and each run's profile JSON (from a parallel profile-mode
+// sweep). Any scheduling leak — results reduced in completion order,
+// shared state between concurrent runs — shows up as a byte diff.
+func sweepArtifacts(t *testing.T, workers int) []byte {
+	t.Helper()
+	base := ensembleio.IORConfig{
+		Machine: ensembleio.Franklin(), Tasks: 16, Reps: 2, BlockBytes: 32e6,
+	}
+	ks := []int{1, 2, 4}
+	seeds := []int64{3, 5, 9}
+
+	var buf bytes.Buffer
+	for _, pt := range ensembleio.IORTransferSweepJ(base, ks, seeds, workers) {
+		fmt.Fprintf(&buf, "k=%d transfer=%d mean=%v\n", pt.K, pt.TransferBytes, pt.MeanRateMBps)
+		for _, run := range pt.Runs {
+			if err := ensembleio.SaveTrace(&buf, run); err != nil {
+				t.Fatalf("SaveTrace: %v", err)
+			}
+			if err := ensembleio.SaveTraceJSON(&buf, run); err != nil {
+				t.Fatalf("SaveTraceJSON: %v", err)
+			}
+		}
+	}
+
+	pbase := base
+	pbase.Mode = ensembleio.ProfileMode
+	for _, pt := range ensembleio.IORTransferSweepJ(pbase, ks, seeds, workers) {
+		for _, run := range pt.Runs {
+			profile, err := ensembleio.ProfileOf(run)
+			if err != nil {
+				t.Fatalf("ProfileOf: %v", err)
+			}
+			if err := ensembleio.SaveProfile(&buf, profile); err != nil {
+				t.Fatalf("SaveProfile: %v", err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the runpool determinism
+// guarantee at its strongest: the serialized bytes of every trace and
+// profile produced by IORTransferSweep must be identical whether the
+// ensemble ran on one worker (-j 1, the plain sequential loop) or was
+// fanned across four (-j 4), and whether GOMAXPROCS allows real
+// parallelism or not.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	sequential := sweepArtifacts(t, 1)
+	if len(sequential) == 0 {
+		t.Fatal("sweep produced no serialized artifacts; the check is vacuous")
+	}
+	prev := runtime.GOMAXPROCS(4) // force real concurrency even on 1-core CI
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{4, 0} {
+		parallel := sweepArtifacts(t, workers)
+		if !bytes.Equal(sequential, parallel) {
+			i := 0
+			for i < len(sequential) && i < len(parallel) && sequential[i] == parallel[i] {
+				i++
+			}
+			t.Errorf("-j 1 vs -j %d: artifacts differ (len %d vs %d, first divergence at byte %d)",
+				workers, len(sequential), len(parallel), i)
+		}
+	}
+}
+
 // TestDeterminismAcrossGOMAXPROCS runs the workload under
 // GOMAXPROCS=1 and under GOMAXPROCS=4 (forced, so the check bites
 // even on single-core CI runners): the engine's lock-step process

@@ -34,6 +34,7 @@ import (
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/ensemble"
 	"ensembleio/internal/ipmio"
+	"ensembleio/internal/runpool"
 	"ensembleio/internal/tracefmt"
 	"ensembleio/internal/workloads"
 )
@@ -302,15 +303,42 @@ type (
 	WriterPoint = workloads.WriterPoint
 )
 
-// IORTransferSweep runs the Figure 2 splitting experiment.
+// IORTransferSweep runs the Figure 2 splitting experiment. The
+// independent seeded runs execute in parallel on all cores; the
+// reduction is in submission order, so results are identical at any
+// worker count.
 func IORTransferSweep(base IORConfig, ks []int, seeds []int64) []TransferPoint {
 	return workloads.IORTransferSweep(base, ks, seeds)
 }
 
+// IORTransferSweepJ is IORTransferSweep on at most workers OS workers
+// (workers <= 0 means all cores, 1 means sequential).
+func IORTransferSweepJ(base IORConfig, ks []int, seeds []int64, workers int) []TransferPoint {
+	return workloads.IORTransferSweepJ(base, ks, seeds, workers)
+}
+
 // IORWriterSweep runs the §V writer-saturation experiment, averaging
-// walls over the given seeds.
+// walls over the given seeds. Runs execute in parallel on all cores
+// with an ordered reduction (results identical at any worker count).
 func IORWriterSweep(prof Platform, counts []int, totalTransfers int, transferBytes int64, seeds []int64) []WriterPoint {
 	return workloads.IORWriterSweep(prof, counts, totalTransfers, transferBytes, seeds)
+}
+
+// IORWriterSweepJ is IORWriterSweep on at most workers OS workers
+// (workers <= 0 means all cores, 1 means sequential).
+func IORWriterSweepJ(prof Platform, counts []int, totalTransfers int, transferBytes int64, seeds []int64, workers int) []WriterPoint {
+	return workloads.IORWriterSweepJ(prof, counts, totalTransfers, transferBytes, seeds, workers)
+}
+
+// RunMany executes one workload per config element on up to workers
+// OS workers (workers <= 0 means all cores) and returns the runs
+// indexed by config — the deterministic fan-out/ordered-reduction
+// primitive behind every multi-seed loop in the CLIs and examples.
+// Each simulation still executes on its own single-goroutine-at-a-time
+// engine, so any given config+seed is bit-reproducible regardless of
+// the worker count.
+func RunMany[C any](workers int, cfgs []C, run func(C) *Run) []*Run {
+	return runpool.Map(workers, cfgs, func(_ int, c C) *Run { return run(c) })
 }
 
 // SaturationPoint locates the smallest writer count within slack of

@@ -15,13 +15,19 @@ import (
 )
 
 func main() {
+	// The three runs the walkthrough needs (buggy Franklin, Jaguar,
+	// patched Franklin) are independent: simulate them up front across
+	// all cores, then tell the story from the results. Each seeded run
+	// is bit-identical to its sequential execution.
+	machines := []ensembleio.Platform{
+		ensembleio.Franklin(), ensembleio.Jaguar(), ensembleio.FranklinPatched(),
+	}
+	runs := ensembleio.RunMany(0, machines, func(m ensembleio.Platform) *ensembleio.Run {
+		return ensembleio.RunMADbench(ensembleio.MADbenchConfig{Machine: m, Seed: 3})
+	})
+	bug, jaguar, patched := runs[0], runs[1], runs[2]
+
 	fmt.Println("step 1: the complaint — MADbench is mysteriously slow on Franklin")
-	bug := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
-		Machine: ensembleio.Franklin(), Seed: 3,
-	})
-	jaguar := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
-		Machine: ensembleio.Jaguar(), Seed: 3,
-	})
 	fmt.Printf("  franklin: %.0f s     jaguar (same workload): %.0f s\n\n",
 		float64(bug.Wall), float64(jaguar.Wall))
 
@@ -56,9 +62,6 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("step 5: the fix — install the patch that removes strided read-ahead detection")
-	patched := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
-		Machine: ensembleio.FranklinPatched(), Seed: 3,
-	})
 	pr := ensembleio.Durations(patched, ensembleio.OpRead)
 	fmt.Printf("  patched franklin: %.0f s (%.1fx speedup; paper: 4.2x)\n",
 		float64(patched.Wall), float64(bug.Wall/patched.Wall))

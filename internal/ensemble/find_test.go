@@ -1,0 +1,93 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// generalFind strips the fast-path flag so Find takes the reference
+// binary-search route over the same edges.
+func generalFind(b Bins, x float64) int {
+	return Bins{Edges: b.Edges, Log: b.Log}.Find(x)
+}
+
+// TestFindFastPathMatchesSearch is the property test for the O(1)
+// linear-bin index: on random binnings and random probes — including
+// values exactly on bin boundaries, underflow, and overflow — the
+// arithmetic index must agree with the general search.
+func TestFindFastPathMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Float64()*200 - 100
+		hi := lo + math.Exp(rng.Float64()*12-4) // spans ~1e-2 .. 1e3 widths
+		n := 1 + rng.Intn(300)
+		b := LinearBins(lo, hi, n)
+
+		check := func(x float64) {
+			t.Helper()
+			got, want := b.Find(x), generalFind(b, x)
+			if got != want {
+				t.Fatalf("trial %d (lo=%v hi=%v n=%d): Find(%v) = %d, search says %d",
+					trial, lo, hi, n, x, got, want)
+			}
+		}
+
+		// Random interior, underflow and overflow probes.
+		for i := 0; i < 50; i++ {
+			check(lo + (hi-lo)*(rng.Float64()*1.2-0.1))
+		}
+		// Every edge exactly: x == Edges[i] must land in bin i (or
+		// overflow for the last edge), the half-open [lo, hi) contract.
+		for i, e := range b.Edges {
+			check(e)
+			// One ulp either side of the edge, where the arithmetic
+			// index is most likely to round the wrong way.
+			check(math.Nextafter(e, math.Inf(-1)))
+			check(math.Nextafter(e, math.Inf(1)))
+			if want := i; i < b.N() {
+				if got := b.Find(e); got != want {
+					t.Fatalf("trial %d: edge %d: Find(%v) = %d, want %d", trial, i, e, got, want)
+				}
+			}
+		}
+		// Far out-of-range values.
+		check(lo - 1e6)
+		check(hi + 1e6)
+		if b.Find(lo-1e6) != -1 {
+			t.Fatalf("trial %d: deep underflow not -1", trial)
+		}
+		if b.Find(hi+1e6) != b.N() {
+			t.Fatalf("trial %d: deep overflow not N()", trial)
+		}
+	}
+}
+
+// TestFindLogBinsUnaffected pins that non-uniform binnings still take
+// the general path and behave as before.
+func TestFindLogBinsUnaffected(t *testing.T) {
+	b := LogBins(1, 1000, 4)
+	for i, e := range b.Edges[:b.N()] {
+		if got := b.Find(e); got != i {
+			t.Fatalf("log edge %d: Find(%v) = %d, want %d", i, e, got, i)
+		}
+	}
+	if b.Find(0.5) != -1 || b.Find(b.Edges[b.N()]) != b.N() {
+		t.Fatal("log bins under/overflow broken")
+	}
+}
+
+func BenchmarkBinsFindLinear(b *testing.B) {
+	bins := LinearBins(0, 50, 200)
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bins.Find(float64(i%55) - 2)
+		}
+	})
+	general := Bins{Edges: bins.Edges}
+	b.Run("search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			general.Find(float64(i%55) - 2)
+		}
+	})
+}

@@ -13,6 +13,15 @@ type Bins struct {
 	// Log marks logarithmic binning (affects density normalization
 	// presentation only; the edges already encode the geometry).
 	Log bool
+
+	// uniform marks equal-width binning built by LinearBins, enabling
+	// the O(1) arithmetic Find below. Bins reconstructed from
+	// serialized edges (or built by hand) leave it false and take the
+	// general binary-search path; results are identical either way
+	// (pinned by TestFindFastPathMatchesSearch).
+	uniform bool
+	lo      float64 // Edges[0]
+	invW    float64 // bins per unit: N() / (Edges[N()] - Edges[0])
 }
 
 // LinearBins returns n equal-width bins spanning [lo, hi).
@@ -26,7 +35,7 @@ func LinearBins(lo, hi float64, n int) Bins {
 		edges[i] = lo + float64(i)*w
 	}
 	edges[n] = hi
-	return Bins{Edges: edges}
+	return Bins{Edges: edges, uniform: true, lo: lo, invW: float64(n) / (hi - lo)}
 }
 
 // LogBins returns logarithmically spaced bins from lo to hi with
@@ -67,6 +76,24 @@ func (b Bins) Find(x float64) int {
 	}
 	if x >= b.Edges[len(b.Edges)-1] {
 		return b.N()
+	}
+	if b.uniform {
+		// Arithmetic index for equal-width bins. The stored edges are
+		// the authority on bin membership ([Edges[i], Edges[i+1])):
+		// float rounding in the multiply can land the raw index one
+		// bin off when x sits exactly on (or within an ulp of) an
+		// edge, so nudge until the edge invariant holds.
+		i := int((x - b.lo) * b.invW)
+		if i > b.N()-1 {
+			i = b.N() - 1
+		}
+		for i > 0 && x < b.Edges[i] {
+			i--
+		}
+		for x >= b.Edges[i+1] {
+			i++
+		}
+		return i
 	}
 	// Binary search over edges.
 	lo, hi := 0, len(b.Edges)-1

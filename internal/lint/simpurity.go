@@ -13,9 +13,11 @@ import (
 // Go scheduler's configuration.
 var SimPurity = &Analyzer{
 	Name: "simpurity",
-	Doc: `forbid wall-clock time, global math/rand, and scheduler-sensitive
-runtime calls in simulator packages; use the sim.Engine virtual clock
-(sim.Time) and the engine's seeded *sim.RNG instead`,
+	Doc: `forbid wall-clock time, global math/rand, scheduler-sensitive
+runtime calls, goroutine launches, and internal/runpool imports in
+simulator packages; use the sim.Engine virtual clock (sim.Time) and
+the engine's seeded *sim.RNG, and fan only whole independent runs in
+parallel — above the sim layer, via internal/runpool`,
 	Match: prefixMatcher(
 		"ensembleio/internal/sim",
 		"ensembleio/internal/mpi",
@@ -52,7 +54,20 @@ var schedulerFuncs = map[string]bool{
 
 func runSimPurity(pass *Pass) {
 	for _, file := range pass.Files {
+		// Parallelism belongs strictly above the per-run simulation:
+		// a simulator package that reaches for the run-fan-out
+		// executor (or raw goroutines, below) is about to break the
+		// lock-step schedule that makes a seed bit-reproducible.
+		for _, imp := range file.Imports {
+			if imp.Path.Value == `"ensembleio/internal/runpool"` {
+				pass.Reportf(imp.Pos(), "simulator package imports internal/runpool; parallelism must stay above the sim layer (fan whole independent runs from the caller)")
+			}
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "goroutine launch in simulator code; a run must stay on the engine's lock-step schedule — fan whole independent runs via internal/runpool instead")
+				return true
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 	"time"
+
+	_ "ensembleio/internal/runpool" // want `simulator package imports internal/runpool`
 )
 
 func flagged() {
@@ -17,6 +19,13 @@ func flagged() {
 	rand.Shuffle(0, func(i, j int) {}) // want `global math/rand Shuffle`
 	runtime.GOMAXPROCS(0)              // want `scheduler-sensitive runtime.GOMAXPROCS`
 	_ = runtime.NumCPU()               // want `scheduler-sensitive runtime.NumCPU`
+}
+
+func goroutines() {
+	go func() {}() // want `goroutine launch in simulator code`
+	done := make(chan struct{})
+	go close(done) // want `goroutine launch in simulator code`
+	<-done
 }
 
 func allowed() {
@@ -32,5 +41,8 @@ func allowed() {
 	// Justified escape hatch.
 	//lint:allow simpurity timing instrumentation for a debug build
 	_ = time.Now()
+	// The engine's rendezvous launch is the one sanctioned goroutine.
+	//lint:allow simpurity lock-step rendezvous keeps this deterministic
+	go func() {}()
 	_ = runtime.Version() // scheduler-insensitive runtime call
 }

@@ -1,0 +1,113 @@
+package runpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByJob(t *testing.T) {
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i * 3
+	}
+	for _, w := range []int{1, 2, 4, 16, 0, -1} {
+		got := Map(w, jobs, func(i, job int) int { return job + 1 })
+		for i, r := range got {
+			if r != jobs[i]+1 {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", w, i, r, jobs[i]+1)
+			}
+		}
+	}
+}
+
+func TestMapPassesJobIndex(t *testing.T) {
+	jobs := []string{"a", "b", "c", "d", "e"}
+	got := Map(3, jobs, func(i int, job string) int { return i })
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(4, nil, func(i, j int) int { return j }); len(got) != 0 {
+		t.Fatalf("empty jobs: got %d results", len(got))
+	}
+	got := Map(4, []int{7}, func(i, j int) int { return j * j })
+	if len(got) != 1 || got[0] != 49 {
+		t.Fatalf("single job: got %v", got)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	const n = 1000
+	var ran [n]int32
+	Each(8, make([]struct{}, n), func(i int, _ struct{}) {
+		atomic.AddInt32(&ran[i], 1)
+	})
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapActuallyParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-core environment; concurrency rendezvous would deadlock-or-timeout flakily")
+	}
+	// Two jobs that can only finish if they overlap in time.
+	gate := make(chan struct{}, 2)
+	Each(2, []int{0, 1}, func(i, _ int) {
+		gate <- struct{}{}
+		for len(gate) < 2 {
+			runtime.Gosched()
+		}
+	})
+}
+
+func TestMapSequentialWhenOneWorker(t *testing.T) {
+	// With one worker the jobs must run on the calling goroutine in
+	// submission order (this is the -j 1 reference path).
+	var order []int
+	Map(1, []int{10, 11, 12}, func(i, j int) int {
+		order = append(order, i) // safe: sequential by contract
+		return j
+	})
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("sequential path ran out of order: %v", order)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(1) != 1 {
+		t.Errorf("Workers(1) = %d", Workers(1))
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in fn did not propagate to the caller")
+		}
+	}()
+	Map(4, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(i, j int) int {
+		if j == 3 {
+			panic("boom")
+		}
+		return j
+	})
+}

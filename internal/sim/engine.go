@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -33,23 +32,68 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a hand-rolled binary min-heap ordered by (t, seq).
+// The engine pushes and pops one event per simulated operation, so
+// this is the hottest data structure in the repo; a typed heap avoids
+// the interface{} boxing (one allocation per Push) and the dynamic
+// dispatch of container/heap.
+type eventHeap struct {
+	a []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+// less orders strictly by time, then by scheduling sequence — the
+// determinism tie-break: two events at the same instant run in the
+// order they were scheduled.
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].t != h.a[j].t {
+		return h.a[i].t < h.a[j].t
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	// Sift up.
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	// Clear the vacated slot so the popped event's closure — and
+	// everything it captures — is collectable even while the backing
+	// array lives on. Without this, long runs pin every completed
+	// event's captured state until the heap slot is overwritten.
+	h.a[n] = event{}
+	h.a = h.a[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -78,7 +122,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+	e.events.push(event{t: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -98,11 +142,11 @@ func (e *Engine) RunUntil(limit Time) Time {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		if e.events[0].t > limit {
+	for e.events.len() > 0 {
+		if e.events.a[0].t > limit {
 			return e.now
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.t
 		ev.fn()
 	}
@@ -113,4 +157,4 @@ func (e *Engine) RunUntil(limit Time) Time {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.events.len() }

@@ -2,11 +2,19 @@ package workloads
 
 import (
 	"ensembleio/internal/cluster"
+	//lint:allow simpurity runpool fans whole independent seeded runs; parallelism stays above the per-run sim layer
+	"ensembleio/internal/runpool"
 )
 
 // Parameter sweeps: the experiment shapes the paper iterates — the
 // Figure 2 transfer-size sweep and the §V writer-count sweep — as
 // reusable drivers. cmd/paperfig and the benchmarks build on these.
+//
+// Each sweep point averages several independent seeded runs; the runs
+// are fanned across runpool workers and reduced in submission order,
+// so the output (down to the serialized bytes of every trace) is
+// identical at any worker count. See DESIGN.md §"Parallel execution
+// model".
 
 // TransferPoint is one point of a transfer-size sweep.
 type TransferPoint struct {
@@ -20,18 +28,44 @@ type TransferPoint struct {
 
 // IORTransferSweep runs the Figure 2 experiment: the base
 // configuration with its block split into each k of ks, averaged over
-// the given seeds. The base's TransferBytes is ignored.
+// the given seeds. The base's TransferBytes is ignored. All (k, seed)
+// runs execute in parallel on all cores; use IORTransferSweepJ to
+// bound the worker count.
 func IORTransferSweep(base IORConfig, ks []int, seeds []int64) []TransferPoint {
+	return IORTransferSweepJ(base, ks, seeds, 0)
+}
+
+// IORTransferSweepJ is IORTransferSweep on at most workers OS workers
+// (workers <= 0 means all cores, 1 means sequential).
+func IORTransferSweepJ(base IORConfig, ks []int, seeds []int64, workers int) []TransferPoint {
 	base.defaults()
+	type job struct {
+		k    int
+		seed int64
+	}
+	jobs := make([]job, 0, len(ks)*len(seeds))
+	for _, k := range ks {
+		for _, seed := range seeds {
+			jobs = append(jobs, job{k, seed})
+		}
+	}
+	runs := runpool.Map(workers, jobs, func(_ int, j job) *Run {
+		cfg := base
+		cfg.TransferBytes = base.BlockBytes / int64(j.k)
+		cfg.Seed = j.seed
+		return RunIOR(cfg)
+	})
+
+	// Ordered reduction: fold results by job index, exactly the
+	// sequence the sequential loop produced.
 	var out []TransferPoint
+	i := 0
 	for _, k := range ks {
 		pt := TransferPoint{K: k, TransferBytes: base.BlockBytes / int64(k)}
 		sum := 0.0
-		for _, seed := range seeds {
-			cfg := base
-			cfg.TransferBytes = pt.TransferBytes
-			cfg.Seed = seed
-			run := RunIOR(cfg)
+		for range seeds {
+			run := runs[i]
+			i++
 			pt.Runs = append(pt.Runs, run)
 			sum += run.AggregateMBps()
 		}
@@ -57,22 +91,45 @@ type WriterPoint struct {
 // volume (totalTransfers x transferBytes) divided among each writer
 // count, each task issuing whole transfers and walls averaged over the
 // seeds. Counts that do not divide the work evenly get the rounded-up
-// share.
+// share. All (count, seed) runs execute in parallel on all cores; use
+// IORWriterSweepJ to bound the worker count.
 func IORWriterSweep(prof cluster.Profile, counts []int, totalTransfers int, transferBytes int64, seeds []int64) []WriterPoint {
-	var out []WriterPoint
+	return IORWriterSweepJ(prof, counts, totalTransfers, transferBytes, seeds, 0)
+}
+
+// IORWriterSweepJ is IORWriterSweep on at most workers OS workers
+// (workers <= 0 means all cores, 1 means sequential).
+func IORWriterSweepJ(prof cluster.Profile, counts []int, totalTransfers int, transferBytes int64, seeds []int64, workers int) []WriterPoint {
+	type job struct {
+		writers int
+		seed    int64
+	}
+	jobs := make([]job, 0, len(counts)*len(seeds))
 	for _, n := range counts {
-		per := (totalTransfers + n - 1) / n
+		for _, seed := range seeds {
+			jobs = append(jobs, job{n, seed})
+		}
+	}
+	runs := runpool.Map(workers, jobs, func(_ int, j job) *Run {
+		per := (totalTransfers + j.writers - 1) / j.writers
+		return RunIOR(IORConfig{
+			Machine:       prof,
+			Tasks:         j.writers,
+			BlockBytes:    int64(per) * transferBytes,
+			TransferBytes: transferBytes,
+			Reps:          1,
+			Seed:          j.seed,
+		})
+	})
+
+	var out []WriterPoint
+	i := 0
+	for _, n := range counts {
 		pt := WriterPoint{Writers: n}
 		sum := 0.0
-		for _, seed := range seeds {
-			run := RunIOR(IORConfig{
-				Machine:       prof,
-				Tasks:         n,
-				BlockBytes:    int64(per) * transferBytes,
-				TransferBytes: transferBytes,
-				Reps:          1,
-				Seed:          seed,
-			})
+		for range seeds {
+			run := runs[i]
+			i++
 			pt.Runs = append(pt.Runs, run)
 			sum += float64(run.Wall)
 		}
