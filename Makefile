@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race lint fmt vet fuzz-smoke bench bench-smoke ci
+.PHONY: build test race race-stress lint fmt vet fuzz-smoke bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-stress: uncached focused race run over the concurrency-heavy
+# packages — the runpool stress tests (panics mid-pool, workers >
+# items) and the simulator's lock-step scheduler.
+race-stress:
+	$(GO) test -race -count=1 ./internal/runpool ./internal/sim
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -49,4 +55,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzTraceDecodeJSONL$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzProfileJSON$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 
-ci: build lint race bench-smoke fuzz-smoke
+ci: build lint race race-stress bench-smoke fuzz-smoke

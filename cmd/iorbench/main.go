@@ -7,6 +7,7 @@
 //
 //	iorbench [-machine franklin|franklin-patched|jaguar] [-tasks N]
 //	         [-block BYTES] [-transfer BYTES] [-reps N] [-seed N]
+//	         [-fpp] [-stripes N] [-faults scenario.json]
 //	         [-trace FILE] [-json]
 package main
 
@@ -30,6 +31,9 @@ func main() {
 		transfer = flag.Int64("transfer", 0, "bytes per write call (default: whole block)")
 		reps     = flag.Int("reps", 5, "synchronous repetitions")
 		seed     = flag.Int64("seed", 1, "run seed (vary to model run-to-run conditions)")
+		fpp      = flag.Bool("fpp", false, "file per process instead of one shared file")
+		stripes  = flag.Int("stripes", 0, "stripe count for created files (0 = all OSTs)")
+		scenario = flag.String("faults", "", "inject the fault scenario from this JSON file")
 		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
 		jsonOut  = flag.Bool("json", false, "with -trace, write JSON lines instead of binary")
 	)
@@ -39,17 +43,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fs, err := loadScenario(*scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
 	run := ensembleio.RunIOR(ensembleio.IORConfig{
-		Machine:       prof,
-		Tasks:         *tasks,
-		BlockBytes:    *block,
-		TransferBytes: *transfer,
-		Reps:          *reps,
-		Seed:          *seed,
+		Machine:        prof,
+		Tasks:          *tasks,
+		BlockBytes:     *block,
+		TransferBytes:  *transfer,
+		Reps:           *reps,
+		FilePerProcess: *fpp,
+		StripeCount:    *stripes,
+		Faults:         fs,
+		Seed:           *seed,
 	})
 
 	fmt.Printf("IOR %s: %d tasks x %d MB (transfer %d MB) x %d reps\n",
 		*machine, *tasks, *block/1e6, effTransfer(*block, *transfer)/1e6, *reps)
+	if fs != nil {
+		fmt.Printf("faults: %s\n", fs)
+	}
 	fmt.Printf("run time: %.1f s   aggregate: %.0f MB/s\n\n", float64(run.Wall), run.AggregateMBps())
 
 	writes := ensembleio.Durations(run, ensembleio.OpWrite)
@@ -88,6 +102,13 @@ func platform(name string) (ensembleio.Platform, error) {
 		return ensembleio.Jaguar(), nil
 	}
 	return ensembleio.Platform{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func loadScenario(path string) (*ensembleio.Scenario, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return ensembleio.LoadScenario(path)
 }
 
 func effTransfer(block, transfer int64) int64 {

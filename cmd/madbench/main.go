@@ -6,7 +6,8 @@
 // Usage:
 //
 //	madbench [-machine franklin|franklin-patched|jaguar] [-tasks N]
-//	         [-matrices N] [-seed N] [-trace FILE] [-json]
+//	         [-matrices N] [-seed N] [-faults scenario.json]
+//	         [-trace FILE] [-json]
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		tasks    = flag.Int("tasks", 256, "MPI tasks")
 		matrices = flag.Int("matrices", 8, "matrices per task")
 		seed     = flag.Int64("seed", 1, "run seed")
+		scenario = flag.String("faults", "", "inject the fault scenario from this JSON file")
 		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
 		jsonOut  = flag.Bool("json", false, "with -trace, write JSON lines instead of binary")
 	)
@@ -44,14 +46,25 @@ func main() {
 		log.Fatalf("unknown machine %q", *machine)
 	}
 
+	var fs *ensembleio.Scenario
+	if *scenario != "" {
+		var err error
+		if fs, err = ensembleio.LoadScenario(*scenario); err != nil {
+			log.Fatal(err)
+		}
+	}
 	run := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
 		Machine:  prof,
 		Tasks:    *tasks,
 		Matrices: *matrices,
+		Faults:   fs,
 		Seed:     *seed,
 	})
 
 	fmt.Printf("MADbench on %s: %d tasks, %d matrices\n", *machine, *tasks, *matrices)
+	if fs != nil {
+		fmt.Printf("faults: %s\n", fs)
+	}
 	fmt.Printf("run time: %.0f s   aggregate: %.0f MB/s\n\n", float64(run.Wall), run.AggregateMBps())
 
 	rows := [][]string{{"phase", "duration (s)", "read med (s)", "read p95 (s)", "write med (s)"}}

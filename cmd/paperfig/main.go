@@ -8,6 +8,11 @@
 // Usage:
 //
 //	paperfig [-out DIR] [-fig 1a|1b|1c|2|4|5a|5b|5c|6|writers|all] [-seed N] [-j N]
+//	         [-faults scenario.json]
+//
+// With -faults, every simulated run executes against the degraded
+// machine — regenerating the figures under a labeled pathology shows
+// which ensemble signatures each fault perturbs.
 package main
 
 import (
@@ -30,7 +35,12 @@ var (
 	figSel = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 2 4 5a 5b 5c 6 writers all)")
 	seed   = flag.Int64("seed", 1, "base run seed")
 	jobs   = flag.Int("j", 0, "parallel simulation workers (0 = all cores; output is identical at any -j)")
+	faults = flag.String("faults", "", "inject the fault scenario from this JSON file into every run")
 )
+
+// faultScenario is the -faults scenario, loaded once in main before
+// any spec builds (nil when the flag is unset).
+var faultScenario *ensembleio.Scenario
 
 // runCache shares simulations between figures (1a/1b/1c use the same
 // IOR run; 4 and 5 share the MADbench runs; the 6-series shares the
@@ -60,7 +70,7 @@ func iorSpec(k int, s int64) runSpec {
 	return runSpec{fmt.Sprintf("ior-%d-%d", k, s), func() *ensembleio.Run {
 		return ensembleio.RunIOR(ensembleio.IORConfig{
 			Machine: ensembleio.Franklin(), Tasks: 1024, Reps: 5,
-			TransferBytes: 512e6 / int64(k), Seed: s,
+			TransferBytes: 512e6 / int64(k), Faults: faultScenario, Seed: s,
 		})
 	}}
 }
@@ -78,7 +88,7 @@ func madSpec(machine string) runSpec {
 		case "jaguar":
 			m = ensembleio.Jaguar()
 		}
-		return ensembleio.RunMADbench(ensembleio.MADbenchConfig{Machine: m, Seed: *seed})
+		return ensembleio.RunMADbench(ensembleio.MADbenchConfig{Machine: m, Faults: faultScenario, Seed: *seed})
 	}}
 }
 
@@ -87,7 +97,7 @@ func madRun(machine string) *ensembleio.Run { return cachedRun(madSpec(machine))
 func gcrmSpec(stage int) runSpec {
 	names := []string{"baseline", "collective", "aligned", "metaagg"}
 	return runSpec{"gcrm-" + names[stage], func() *ensembleio.Run {
-		cfg := ensembleio.GCRMConfig{Machine: ensembleio.Franklin(), Seed: *seed}
+		cfg := ensembleio.GCRMConfig{Machine: ensembleio.Franklin(), Faults: faultScenario, Seed: *seed}
 		if stage >= 1 {
 			cfg.Aggregators = 80
 		}
@@ -167,6 +177,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfig: ")
 	flag.Parse()
+
+	if *faults != "" {
+		s, err := ensembleio.LoadScenario(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faultScenario = s
+		fmt.Printf("injecting faults: %s\n", s)
+	}
 
 	figs := []figure{
 		{"1a", "IOR trace diagram (5 synchronous write phases)", fig1a},

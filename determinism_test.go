@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"ensembleio"
@@ -174,4 +175,69 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	runtime.GOMAXPROCS(4)
 	parallel := runAndSerialize(t, 7)
 	assertIdentical(t, "GOMAXPROCS=1 vs GOMAXPROCS=4", single, parallel)
+}
+
+// faultedArtifacts parses the all-five-fault-types scenario from its
+// JSON spec form (the same path the CLIs' -faults flag exercises) and
+// runs a seeded ensemble of faulted IOR simulations through RunMany at
+// the given worker count, serializing every trace byte produced.
+func faultedArtifacts(t *testing.T, workers int) []byte {
+	t.Helper()
+	const spec = `{
+	  "name": "determinism",
+	  "faults": [
+	    {"type": "slow-ost", "ost": 3, "factor": 0.05},
+	    {"type": "flaky-ost", "ost": 1, "start_sec": 1, "period_sec": 4, "stall_sec": 1},
+	    {"type": "slow-node-link", "node": 2, "factor": 0.1},
+	    {"type": "mds-brownout", "concurrency": 4, "slow_prob": 0.2, "slow_lo_sec": 0.1, "slow_hi_sec": 0.5},
+	    {"type": "background-bursts", "mbps": 8000, "on_sec": 2, "off_sec": 3}
+	  ]
+	}`
+	scenario, err := ensembleio.ParseScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	seeds := []int64{3, 5, 9}
+	runs := ensembleio.RunMany(workers, seeds, func(seed int64) *ensembleio.Run {
+		return ensembleio.RunIOR(ensembleio.IORConfig{
+			Machine: ensembleio.Franklin(), Tasks: 16, Reps: 2,
+			BlockBytes: 32e6, TransferBytes: 8e6,
+			FilePerProcess: true, StripeCount: 1,
+			Faults: scenario, Seed: seed,
+		})
+	})
+	var buf bytes.Buffer
+	for _, run := range runs {
+		fmt.Fprintf(&buf, "%s wall=%v\n", run.Name, run.Wall)
+		if err := ensembleio.SaveTrace(&buf, run); err != nil {
+			t.Fatalf("SaveTrace: %v", err)
+		}
+		if err := ensembleio.SaveTraceJSON(&buf, run); err != nil {
+			t.Fatalf("SaveTraceJSON: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFaultScenariosDeterministicAcrossWorkerCounts extends the
+// determinism contract to fault injection: stall windows and burst
+// schedules are pure functions of virtual time and the brownout draws
+// from the run's seeded RNG, so the same scenario JSON plus the same
+// seeds must serialize byte-identically at -j 1 and -j 4.
+func TestFaultScenariosDeterministicAcrossWorkerCounts(t *testing.T) {
+	sequential := faultedArtifacts(t, 1)
+	if len(sequential) == 0 {
+		t.Fatal("faulted sweep produced no serialized artifacts; the check is vacuous")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	parallel := faultedArtifacts(t, 4)
+	if !bytes.Equal(sequential, parallel) {
+		i := 0
+		for i < len(sequential) && i < len(parallel) && sequential[i] == parallel[i] {
+			i++
+		}
+		t.Errorf("faulted -j 1 vs -j 4: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(sequential), len(parallel), i)
+	}
 }

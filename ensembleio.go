@@ -33,6 +33,7 @@ import (
 	"ensembleio/internal/analysis"
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/ensemble"
+	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/runpool"
 	"ensembleio/internal/tracefmt"
@@ -77,6 +78,33 @@ func RunMADbench(cfg MADbenchConfig) *Run { return workloads.RunMADbench(cfg) }
 
 // RunGCRM executes the GCRM I/O kernel.
 func RunGCRM(cfg GCRMConfig) *Run { return workloads.RunGCRM(cfg) }
+
+// Fault injection (set a config's Faults field, or pass -faults
+// scenario.json to the CLIs). Every fault is deterministic in virtual
+// time: the same scenario and seed reproduce the same run bit-for-bit.
+type (
+	// Scenario is a named, JSON-decodable composition of faults.
+	Scenario = faults.Scenario
+	// Fault is one injectable degradation.
+	Fault = faults.Fault
+	// SlowOST scales one OST's service rate by a constant factor.
+	SlowOST = faults.SlowOST
+	// FlakyOST gives one OST periodic stall windows in virtual time.
+	FlakyOST = faults.FlakyOST
+	// SlowNodeLink caps one compute node's link rate.
+	SlowNodeLink = faults.SlowNodeLink
+	// MDSBrownout reduces metadata concurrency and fattens lock
+	// revocation tails.
+	MDSBrownout = faults.MDSBrownout
+	// BackgroundBursts injects periodic competing fabric load.
+	BackgroundBursts = faults.BackgroundBursts
+)
+
+// LoadScenario reads a fault scenario spec from a JSON file.
+func LoadScenario(path string) (*Scenario, error) { return faults.Load(path) }
+
+// ParseScenario reads a fault scenario spec from a reader.
+func ParseScenario(r io.Reader) (*Scenario, error) { return faults.Parse(r) }
 
 // CheckpointConfig parametrizes the generic compute/checkpoint cycle.
 type CheckpointConfig = workloads.CheckpointConfig
@@ -253,9 +281,18 @@ func TraceDiagram(run *Run, width, height int) string {
 }
 
 // Diagnose inspects a run's trace for the bottleneck signatures of the
-// paper's case studies.
+// paper's case studies and of the injectable faults, cross-checking the
+// trace ensemble against the run's server-side per-OST counters.
 func Diagnose(run *Run) []Finding {
-	return analysis.Diagnose(run.Collector.Events, analysis.DiagnoseConfig{})
+	cfg := analysis.DiagnoseConfig{
+		CoresPerNode: run.CoresPerNode,
+		Marks:        run.Collector.Marks,
+		Wall:         run.Wall,
+	}
+	for _, o := range run.FSStats.PerOST {
+		cfg.OSTRates = append(cfg.OSTRates, analysis.OSTRate{MBps: o.MeanMBps(), MB: o.MB})
+	}
+	return analysis.Diagnose(run.Collector.Events, cfg)
 }
 
 // Gap is one idle interval of a rank between consecutive events.

@@ -1,0 +1,95 @@
+// Straggler hunt: localize one degraded OST out of 48 from the
+// ensemble alone. A 1024-task file-per-process IOR run (stripe count
+// 1, so each task's file lives on exactly one OST) is executed twice —
+// clean, then with OST 7 silently serving at 1% speed — and the
+// ensemble statistics plus the server-side per-OST counters name the
+// culprit without reading a single event timeline.
+//
+//	go run ./examples/straggler-hunt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ensembleio"
+	"ensembleio/internal/report"
+)
+
+func main() {
+	// Both runs are independent seeded simulations: fan them out.
+	scenarios := []*ensembleio.Scenario{
+		nil, // clean baseline
+		{Name: "straggler", Faults: []ensembleio.Fault{
+			&ensembleio.SlowOST{OST: 7, Factor: 0.01},
+		}},
+	}
+	runs := ensembleio.RunMany(0, scenarios, func(s *ensembleio.Scenario) *ensembleio.Run {
+		return ensembleio.RunIOR(ensembleio.IORConfig{
+			Machine:        ensembleio.Franklin(),
+			Tasks:          1024,
+			BlockBytes:     256e6,
+			TransferBytes:  32e6,
+			Reps:           2,
+			FilePerProcess: true,
+			StripeCount:    1, // one OST per file: stragglers stay localized
+			Faults:         s,
+			Seed:           11,
+		})
+	})
+	clean, bad := runs[0], runs[1]
+
+	fmt.Println("step 1: the complaint — the same job got slower overnight")
+	fmt.Printf("  yesterday: %.0f s     today: %.0f s (%.1fx)\n\n",
+		float64(clean.Wall), float64(bad.Wall), float64(bad.Wall/clean.Wall))
+
+	fmt.Println("step 2: the ensemble view — a small, well-separated slow mode appears")
+	writes := ensembleio.Durations(bad, ensembleio.OpWrite)
+	h := ensembleio.NewHistogram(ensembleio.LinearBins(0, writes.Max()*1.01, 60))
+	h.AddAll(writes)
+	report.Histogram(os.Stdout, "  write completion times (s)", h)
+	fmt.Printf("  median %.1fs, max %.1fs — most tasks are fine; a subpopulation is not\n\n",
+		writes.Quantile(0.5), writes.Max())
+
+	fmt.Println("step 3: weigh the slow mode — its mass matches one OST's share of the files")
+	slow := 0
+	med := writes.Quantile(0.5)
+	for _, v := range writes.Sorted() {
+		if v >= 3*med {
+			slow++
+		}
+	}
+	fmt.Printf("  %.1f%% of writes run >=3x the median; 1/48 OSTs = %.1f%% of files\n\n",
+		100*float64(slow)/float64(writes.Len()), 100.0/48)
+
+	fmt.Println("step 4: cross-check the server-side per-OST counters")
+	rows := [][]string{{"ost", "mean MB/s", "MB served"}}
+	minIdx, minRate := -1, 0.0
+	for i, o := range bad.FSStats.PerOST {
+		r := o.MeanMBps()
+		if minIdx < 0 || r < minRate {
+			minIdx, minRate = i, r
+		}
+		// Print a sample plus the eventual culprit, keeping the table
+		// short.
+		if i < 3 || i == 7 {
+			rows = append(rows, []string{fmt.Sprint(i), report.F(r, 1), report.F(o.MB, 0)})
+		}
+	}
+	report.Table(os.Stdout, rows)
+	fmt.Printf("  slowest OST: %d at %.1f MB/s\n\n", minIdx, minRate)
+
+	fmt.Println("step 5: the advisor fuses both views and names the OST")
+	for _, f := range ensembleio.Diagnose(bad) {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Println()
+	fmt.Println("step 6: the clean baseline stays clean — no false alarms yesterday")
+	if fs := ensembleio.Diagnose(clean); len(fs) == 0 {
+		fmt.Println("  advisor findings: none")
+	} else {
+		for _, f := range fs {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+}

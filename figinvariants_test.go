@@ -1,0 +1,210 @@
+package ensembleio
+
+// Statistical regression harness: the reproduced figures' ensemble
+// SHAPES — mode structure and quantile sketches — are pinned against
+// golden JSON under testdata/golden/. The tests re-run Figures 1c, 2
+// and 5b at reduced scale and assert mode count, mode locations
+// (within one bin) and a KS-stability band against the golden
+// distribution, so a simulator change that shifts a distribution
+// fails with a readable got-vs-want diff instead of silently moving
+// the reproduced figures. Regenerate after an intentional change with
+//
+//	go test -run TestFigureInvariants -update .
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure-invariant files under testdata/golden")
+
+// goldenFig pins one figure's ensemble shape.
+type goldenFig struct {
+	// Histogram binning the modes were detected under (fixed at update
+	// time so mode bins stay comparable run over run).
+	BinLo float64 `json:"bin_lo"`
+	BinHi float64 `json:"bin_hi"`
+	BinN  int     `json:"bin_n"`
+	// Detected modes: bin index and center of each.
+	ModeBins    []int     `json:"mode_bins"`
+	ModeCenters []float64 `json:"mode_centers"`
+	// 101 evenly spaced quantiles (p = 0.00 .. 1.00): the distribution
+	// sketch the KS band is checked against.
+	Quantiles []float64 `json:"quantiles"`
+	// KSBand is the maximum tolerated KS distance between the current
+	// ensemble and the golden sketch (the paper's reproducibility
+	// threshold is 0.1).
+	KSBand float64 `json:"ks_band"`
+}
+
+// figCase is one pinned figure: a name, its reduced-scale ensemble,
+// and mode-detection options.
+type figCase struct {
+	name    string
+	dataset func() *Dataset
+	bins    int
+	modes   ModeOpts
+	ksBand  float64
+}
+
+func figInvariantCases() []figCase {
+	modeOpts := ModeOpts{SmoothRadius: 2, MinProminence: 0.1, MinMass: 0.04}
+	iorReduced := func(k int) func() *Dataset {
+		return func() *Dataset {
+			run := cached("figinv-ior-k"+string(rune('0'+k)), func() *Run {
+				return RunIOR(IORConfig{
+					Machine:       Franklin(),
+					Tasks:         256,
+					BlockBytes:    128e6,
+					TransferBytes: 128e6 / int64(k),
+					Reps:          3,
+					Seed:          1,
+				})
+			})
+			return Durations(run, OpWrite)
+		}
+	}
+	madReads := func(platform string) func() *Dataset {
+		return func() *Dataset {
+			run := cached("figinv-mad-"+platform, func() *Run {
+				m := Franklin()
+				if platform == "patched" {
+					m = FranklinPatched()
+				}
+				return RunMADbench(MADbenchConfig{Machine: m, Tasks: 64, Matrices: 6, Seed: 3})
+			})
+			return Durations(run, OpRead)
+		}
+	}
+	return []figCase{
+		// Figure 1c: the multi-modal shared-file write histogram.
+		{"fig1c-ior-writes", iorReduced(1), 60, modeOpts, 0.1},
+		// Figure 2: splitting k=2, k=4 narrows the distribution.
+		{"fig2-ior-writes-k2", iorReduced(2), 60, modeOpts, 0.1},
+		{"fig2-ior-writes-k4", iorReduced(4), 60, modeOpts, 0.1},
+		// Figure 5b: MADbench reads before and after the Lustre patch.
+		{"fig5b-madbench-reads", madReads("franklin"), 60, modeOpts, 0.1},
+		{"fig5b-madbench-reads-patched", madReads("patched"), 60, modeOpts, 0.1},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+func sketchQuantiles(d *Dataset) []float64 {
+	qs := make([]float64, 101)
+	for i := range qs {
+		qs[i] = d.Quantile(float64(i) / 100)
+	}
+	return qs
+}
+
+// ksVsSketch approximates the KS distance between the dataset and the
+// distribution the golden quantile sketch describes. Ensembles of
+// simulated durations carry atoms (many identical values), so the
+// comparison uses the CDF's jump interval [F(q-), F(q)] at each golden
+// quantile — a point mass at q satisfies any p inside its jump.
+func ksVsSketch(d *Dataset, qs []float64) float64 {
+	sorted := d.Sorted()
+	n := float64(len(sorted))
+	maxDiff := 0.0
+	for i, q := range qs {
+		p := float64(i) / 100
+		below := float64(sort.SearchFloat64s(sorted, q)) / n
+		atOrBelow := float64(sort.Search(len(sorted), func(j int) bool { return sorted[j] > q })) / n
+		var diff float64
+		switch {
+		case p < below:
+			diff = below - p
+		case p > atOrBelow:
+			diff = p - atOrBelow
+		}
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	return maxDiff
+}
+
+func detectModes(d *Dataset, binLo, binHi float64, binN int, opts ModeOpts) (bins []int, centers []float64) {
+	h := NewHistogram(LinearBins(binLo, binHi, binN))
+	h.AddAll(d)
+	width := (binHi - binLo) / float64(binN)
+	for _, m := range h.Modes(opts) {
+		bins = append(bins, int((m.Center-binLo)/width))
+		centers = append(centers, m.Center)
+	}
+	sort.Ints(bins)
+	sort.Float64s(centers)
+	return bins, centers
+}
+
+func TestFigureInvariants(t *testing.T) {
+	for _, fc := range figInvariantCases() {
+		t.Run(fc.name, func(t *testing.T) {
+			d := fc.dataset()
+			if d.Len() == 0 {
+				t.Fatal("figure produced an empty ensemble")
+			}
+			path := goldenPath(fc.name)
+
+			if *updateGolden {
+				g := goldenFig{
+					BinLo:  0,
+					BinHi:  d.Max() * 1.001,
+					BinN:   fc.bins,
+					KSBand: fc.ksBand,
+				}
+				g.ModeBins, g.ModeCenters = detectModes(d, g.BinLo, g.BinHi, g.BinN, fc.modes)
+				g.Quantiles = sketchQuantiles(d)
+				b, err := json.MarshalIndent(&g, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d modes, %d samples)", path, len(g.ModeBins), d.Len())
+				return
+			}
+
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file %s — run `go test -run TestFigureInvariants -update .` to create it (%v)", path, err)
+			}
+			var g goldenFig
+			if err := json.Unmarshal(raw, &g); err != nil {
+				t.Fatalf("decoding %s: %v", path, err)
+			}
+
+			// Mode structure under the PINNED binning: same count, each
+			// mode within one bin of its golden location.
+			bins, centers := detectModes(d, g.BinLo, g.BinHi, g.BinN, fc.modes)
+			if len(bins) != len(g.ModeBins) {
+				t.Errorf("mode count changed: got %d modes at bins %v (centers %.2f), golden has %d at bins %v (centers %.2f)",
+					len(bins), bins, centers, len(g.ModeBins), g.ModeBins, g.ModeCenters)
+			} else {
+				for i := range bins {
+					if diff := bins[i] - g.ModeBins[i]; diff < -1 || diff > 1 {
+						t.Errorf("mode %d moved: got bin %d (center %.2fs), golden bin %d (center %.2fs) — more than one bin apart",
+							i, bins[i], centers[i], g.ModeBins[i], g.ModeCenters[i])
+					}
+				}
+			}
+
+			// Distribution stability: KS distance against the golden
+			// quantile sketch stays inside the band.
+			if ks := ksVsSketch(d, g.Quantiles); ks > g.KSBand {
+				t.Errorf("distribution drifted: KS %.3f vs golden sketch exceeds the %.2f band (got median %.2fs p95 %.2fs, golden median %.2fs p95 %.2fs)",
+					ks, g.KSBand, d.Quantile(0.5), d.Quantile(0.95), g.Quantiles[50], g.Quantiles[95])
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"ensembleio/internal/ensemble"
 	"ensembleio/internal/ipmio"
+	"ensembleio/internal/sim"
 )
 
 // Severity ranks a finding.
@@ -53,6 +54,25 @@ type DiagnoseConfig struct {
 	// saturate the I/O subsystem (default 80, the Franklin figure
 	// quoted in §V).
 	SaturationWriters int
+	// CoresPerNode maps ranks to nodes under block assignment, for
+	// node-local signatures (default 4).
+	CoresPerNode int
+	// Marks are the run's phase boundaries. The phase-correlated
+	// detectors (intermittent-stall, background-contention) stay
+	// silent without them.
+	Marks []ipmio.PhaseMark
+	// Wall bounds the final phase (0 = inferred from the last event).
+	Wall sim.Duration
+	// OSTRates is the server-side per-OST view from lustre.Stats;
+	// straggler-OST localization cross-checks the trace ensemble
+	// against it and stays silent without it.
+	OSTRates []OSTRate
+}
+
+// OSTRate is one OST's server-side service observation.
+type OSTRate struct {
+	MBps float64 // mean observed per-stream service rate
+	MB   float64 // megabytes served
 }
 
 func (c *DiagnoseConfig) defaults() {
@@ -64,6 +84,9 @@ func (c *DiagnoseConfig) defaults() {
 	}
 	if c.SaturationWriters == 0 {
 		c.SaturationWriters = 80
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 4
 	}
 }
 
@@ -92,6 +115,21 @@ func Diagnose(events []ipmio.Event, cfg DiagnoseConfig) []Finding {
 		out = append(out, f)
 	}
 	if f, ok := diagnoseSingleRankSerializer(events); ok {
+		out = append(out, f)
+	}
+	if f, ok := diagnoseStragglerOST(events, cfg); ok {
+		out = append(out, f)
+	}
+	if f, ok := diagnoseSlowNode(events, cfg); ok {
+		out = append(out, f)
+	}
+	if f, ok := diagnoseIntermittentStall(events, cfg); ok {
+		out = append(out, f)
+	}
+	if f, ok := diagnoseMDSBrownout(events); ok {
+		out = append(out, f)
+	}
+	if f, ok := diagnoseBackgroundContention(events, cfg); ok {
 		out = append(out, f)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })

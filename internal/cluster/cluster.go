@@ -319,6 +319,52 @@ func (c *Cluster) scheduleBackground() {
 // can drain at the end of a workload.
 func (c *Cluster) StopBackground() { c.bgStopped = true }
 
+// BackgroundStopped reports whether StopBackground has been called.
+// Self-rescheduling load injectors (scheduleBackground, InjectBurstLoad)
+// consult it so the event queue can drain once the workload finishes.
+func (c *Cluster) BackgroundStopped() bool { return c.bgStopped }
+
+// Machine is the name the fault-injection layer uses for an
+// instantiated cluster (see internal/faults).
+type Machine = Cluster
+
+// InjectBurstLoad starts a deterministic competing-load injector: from
+// startSec on, bursts that consume up to mbps MB/s of the aggregate
+// for onSec seconds, separated by offSec of silence. Unlike the
+// profile's stochastic background stream, the schedule is a fixed
+// function of virtual time — fault injection wants phase-correlated,
+// exactly reproducible contention. The injector honors StopBackground
+// like the stochastic one.
+func (c *Cluster) InjectBurstLoad(mbps, onSec, offSec, startSec float64) {
+	if mbps <= 0 || onSec <= 0 {
+		panic("cluster: burst load needs a positive rate and on-window")
+	}
+	agg := c.Prof.EffectiveAggregateMBps()
+	if mbps > 0.95*agg {
+		mbps = 0.95 * agg
+	}
+	// Weight chosen like the stochastic background port's: heavy enough
+	// that the burst consumes ~mbps even when every node is pushing.
+	w := mbps / (agg - mbps) * float64(len(c.Nodes))
+	port := c.Fabric.NewWeightedPort(0, w)
+	var burst func()
+	burst = func() {
+		if c.bgStopped {
+			return
+		}
+		port.Start(mbps*onSec, flownet.StreamOpts{
+			RateCap: mbps,
+			Done: func() {
+				if c.bgStopped {
+					return
+				}
+				c.Eng.After(sim.Duration(offSec), burst)
+			},
+		})
+	}
+	c.Eng.After(sim.Duration(startSec), burst)
+}
+
 // MemoryPressure reports the node's dirty-page pressure in [0, 1+]:
 // the ratio of dirty cache to the dirty limit.
 func (n *Node) MemoryPressure() float64 {

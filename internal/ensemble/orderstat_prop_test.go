@@ -1,0 +1,171 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Property tests for the order-statistics machinery (Eq. 1 of the
+// paper): the invariants must hold for ANY parent distribution, so
+// each property is checked across a family of randomized seeded
+// ensembles — unimodal, bimodal, heavy-tailed — not one hand-picked
+// fixture.
+
+// propRNG is a tiny deterministic generator (xorshift64*) so the
+// randomized distributions are reproducible without importing
+// math/rand into the package's test surface.
+type propRNG uint64
+
+func (r *propRNG) next() float64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = propRNG(x)
+	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// propDatasets builds the randomized distribution family for one seed.
+func propDatasets(seed uint64, n int) []*Dataset {
+	r := propRNG(seed | 1)
+	uni := make([]float64, n)
+	bim := make([]float64, n)
+	tail := make([]float64, n)
+	for i := 0; i < n; i++ {
+		uni[i] = 0.5 + 4*r.next()
+		// Bimodal: fast mode near 1, slow mode near 6.
+		if r.next() < 0.7 {
+			bim[i] = 1 + 0.3*r.next()
+		} else {
+			bim[i] = 6 + 0.8*r.next()
+		}
+		// Heavy right tail: exponential via inversion.
+		tail[i] = 0.2 - 2*math.Log(1-0.9999*r.next())
+	}
+	return []*Dataset{NewDataset(uni), NewDataset(bim), NewDataset(tail)}
+}
+
+func histOf(d *Dataset, bins int) *Histogram {
+	h := NewHistogram(LinearBins(0, d.Max()*1.001, bins))
+	h.AddAll(d)
+	return h
+}
+
+// TestMaxOrderPDFIntegratesToOne: f_N is a density — its bin masses
+// must sum to 1 for every parent distribution and every N.
+func TestMaxOrderPDFIntegratesToOne(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for di, d := range propDatasets(seed*7919, 400) {
+			h := histOf(d, 64)
+			for _, n := range []int{1, 2, 5, 32, 512} {
+				pdf := MaxOrderPDF(h, n)
+				mass := 0.0
+				for i, p := range pdf {
+					mass += p * h.Bins.Width(i)
+				}
+				if math.Abs(mass-1) > 1e-9 {
+					t.Errorf("seed %d dist %d n=%d: MaxOrderPDF mass = %.12f, want 1", seed, di, n, mass)
+				}
+			}
+		}
+	}
+}
+
+// TestExpectedMaxHistMonotoneInN: the binned estimate of the expected
+// slowest of N draws cannot decrease as the population grows, starts
+// at the mean (N=1), and never escapes the distribution's support.
+func TestExpectedMaxHistMonotoneInN(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for di, d := range propDatasets(seed*104729, 400) {
+			h := histOf(d, 64)
+			if e1, mean := ExpectedMax(h, 1), h.Mean(); math.Abs(e1-mean) > 0.05*mean {
+				t.Errorf("seed %d dist %d: ExpectedMax(h,1) = %.4f, want the mean %.4f", seed, di, e1, mean)
+			}
+			prev := math.Inf(-1)
+			for n := 1; n <= 1024; n *= 2 {
+				e := ExpectedMax(h, n)
+				if e < prev-1e-12 {
+					t.Errorf("seed %d dist %d: ExpectedMax not monotone: E[max of %d] = %.6f < E[max of %d] = %.6f",
+						seed, di, n, e, n/2, prev)
+				}
+				prev = e
+			}
+			if top := h.Bins.Edges[len(h.Bins.Edges)-1]; prev > top {
+				t.Errorf("seed %d dist %d: E[max of 1024] = %.4f exceeds the support's top edge %.4f", seed, di, prev, top)
+			}
+		}
+	}
+}
+
+// TestKthOfNMatchesMax: the k=N order statistic IS the maximum, so the
+// general-k machinery must agree with the dedicated maximum estimator
+// on every distribution.
+func TestKthOfNMatchesMax(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for di, d := range propDatasets(seed*31337, 400) {
+			for _, n := range []int{1, 2, 8, 64} {
+				kth := d.ExpectedKthOfN(n, n)
+				direct := d.ExpectedMaxOfN(n)
+				if direct <= 0 {
+					t.Fatalf("seed %d dist %d: non-positive ExpectedMaxOfN %.4f", seed, di, direct)
+				}
+				// Both estimators are numerical (beta-weight quadrature
+				// vs empirical-CDF differencing); at large n on a heavy
+				// tail they legitimately differ by a few percent.
+				if rel := math.Abs(kth-direct) / direct; rel > 0.06 {
+					t.Errorf("seed %d dist %d n=%d: ExpectedKthOfN(n,n) = %.4f vs ExpectedMaxOfN = %.4f (%.1f%% apart)",
+						seed, di, n, kth, direct, rel*100)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderStatCDFClosedForms: the k=n and k=1 order statistics have
+// closed-form CDFs (F^n and 1-(1-F)^n); the incomplete-beta evaluation
+// must reproduce them over the whole domain.
+func TestOrderStatCDFClosedForms(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		for i := 0; i <= 50; i++ {
+			F := float64(i) / 50
+			if got, want := OrderStatCDF(F, n, n), math.Pow(F, float64(n)); math.Abs(got-want) > 1e-10 {
+				t.Errorf("OrderStatCDF(%.2f, %d, %d) = %.12f, want F^n = %.12f", F, n, n, got, want)
+			}
+			if got, want := OrderStatCDF(F, 1, n), 1-math.Pow(1-F, float64(n)); math.Abs(got-want) > 1e-10 {
+				t.Errorf("OrderStatCDF(%.2f, 1, %d) = %.12f, want 1-(1-F)^n = %.12f", F, n, got, want)
+			}
+		}
+	}
+}
+
+// TestOrderStatCDFMonotone: for fixed F and n, the CDF must decrease
+// in k (the k-th smallest grows with k), and for fixed k it must
+// increase in F.
+func TestOrderStatCDFMonotone(t *testing.T) {
+	const n = 12
+	for i := 1; i < 20; i++ {
+		F := float64(i) / 20
+		prev := math.Inf(1)
+		for k := 1; k <= n; k++ {
+			c := OrderStatCDF(F, k, n)
+			if c > prev+1e-12 {
+				t.Errorf("OrderStatCDF(%.2f, k, %d) increased from k=%d to k=%d: %.6f -> %.6f", F, n, k-1, k, prev, c)
+			}
+			prev = c
+		}
+	}
+}
+
+func ExampleMaxOrderPDF() {
+	// A uniform parent on [0,1): the slowest of 8 draws concentrates
+	// near 1 (density 8*F^7).
+	h := NewHistogram(LinearBins(0, 1, 4))
+	for i := 0; i < 4000; i++ {
+		h.Add((float64(i) + 0.5) / 4000)
+	}
+	pdf := MaxOrderPDF(h, 8)
+	fmt.Printf("top-bin mass %.2f\n", pdf[3]*h.Bins.Width(3))
+	// Output:
+	// top-bin mass 0.90
+}

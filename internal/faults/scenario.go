@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/lustre"
+)
+
+// Scenario is a named, JSON-decodable composition of faults. The CLIs
+// accept one via -faults scenario.json:
+//
+//	{
+//	  "name": "straggler hunt",
+//	  "faults": [
+//	    {"type": "slow-ost", "ost": 7, "factor": 0.01},
+//	    {"type": "background-bursts", "mbps": 12000, "on_sec": 4, "off_sec": 6}
+//	  ]
+//	}
+type Scenario struct {
+	Name   string
+	Faults []Fault
+}
+
+// Apply installs every fault of the scenario, in order, on a freshly
+// built machine and mounted file system (before the workload launches).
+func (s *Scenario) Apply(m *cluster.Machine, fs *lustre.FS) error {
+	for i, f := range s.Faults {
+		if err := f.Apply(m, fs); err != nil {
+			return fmt.Errorf("faults: entry %d (%s): %w", i, f.Kind(), err)
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) String() string {
+	kinds := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		kinds[i] = f.Kind()
+	}
+	name := s.Name
+	if name == "" {
+		name = "scenario"
+	}
+	return fmt.Sprintf("%s[%s]", name, strings.Join(kinds, ","))
+}
+
+// newFault returns the zero value for a kind tag.
+func newFault(kind string) (Fault, error) {
+	switch kind {
+	case KindSlowOST:
+		return &SlowOST{}, nil
+	case KindFlakyOST:
+		return &FlakyOST{}, nil
+	case KindSlowNodeLink:
+		return &SlowNodeLink{}, nil
+	case KindMDSBrownout:
+		return &MDSBrownout{}, nil
+	case KindBackgroundBursts:
+		return &BackgroundBursts{}, nil
+	case "":
+		return nil, fmt.Errorf(`missing "type" tag`)
+	}
+	return nil, fmt.Errorf("unknown fault type %q", kind)
+}
+
+// UnmarshalJSON decodes and validates the scenario spec form.
+func (s *Scenario) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Name   string            `json:"name"`
+		Faults []json.RawMessage `json:"faults"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	s.Name = raw.Name
+	s.Faults = nil
+	for i, msg := range raw.Faults {
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(msg, &tag); err != nil {
+			return fmt.Errorf("faults: entry %d: %w", i, err)
+		}
+		f, err := newFault(tag.Type)
+		if err != nil {
+			return fmt.Errorf("faults: entry %d: %w", i, err)
+		}
+		if err := json.Unmarshal(msg, f); err != nil {
+			return fmt.Errorf("faults: entry %d (%s): %w", i, tag.Type, err)
+		}
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("faults: entry %d (%s): %w", i, tag.Type, err)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return nil
+}
+
+// MarshalJSON encodes the spec form (round-trips with UnmarshalJSON;
+// map keys are emitted sorted, so the encoding is deterministic).
+func (s Scenario) MarshalJSON() ([]byte, error) {
+	entries := make([]map[string]any, 0, len(s.Faults))
+	for i, f := range s.Faults {
+		fields, err := json.Marshal(f)
+		if err != nil {
+			return nil, fmt.Errorf("faults: entry %d: %w", i, err)
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal(fields, &m); err != nil {
+			return nil, fmt.Errorf("faults: entry %d: %w", i, err)
+		}
+		m["type"] = f.Kind()
+		entries = append(entries, m)
+	}
+	return json.Marshal(struct {
+		Name   string           `json:"name,omitempty"`
+		Faults []map[string]any `json:"faults"`
+	}{Name: s.Name, Faults: entries})
+}
+
+// Parse reads and validates a scenario spec.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: decoding scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// Load reads a scenario spec from a file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

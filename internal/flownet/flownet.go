@@ -100,6 +100,19 @@ func (f *Fabric) NewWeightedPort(capMBps, weight float64) *Port {
 	return p
 }
 
+// SetCapMBps changes the port's local link capacity in MB/s (0 = no
+// local limit). Degraded-link fault injection uses it; a change while
+// streams are in flight takes effect at the next rate recomputation.
+func (p *Port) SetCapMBps(capMBps float64) {
+	p.cap = capMBps
+	if p.listed {
+		p.fab.poke()
+	}
+}
+
+// CapMBps returns the port's local link capacity (0 = no local limit).
+func (p *Port) CapMBps() float64 { return p.cap }
+
 // StreamOpts tunes one transfer.
 type StreamOpts struct {
 	// RateCap limits this stream's rate in MB/s (0 = unlimited). Used

@@ -40,6 +40,8 @@ type Client struct {
 
 type writeJob struct {
 	file     *File
+	offset   int64   // extent start (OST attribution and fault caps)
+	length   int64   // extent length
 	demandMB float64 // noise-adjusted bytes to move
 	regionMB float64 // original call region size (drives the lock cap)
 	aligned  bool
@@ -91,6 +93,8 @@ func (c *Client) Write(p *sim.Proc, f *File, offset, length int64) sim.Duration 
 	if syncMB > 1e-12 {
 		job := &writeJob{
 			file:     f,
+			offset:   offset,
+			length:   length,
 			demandMB: syncMB * c.fs.Cl.ServiceNoise(),
 			regionMB: sizeMB,
 			aligned:  aligned,
@@ -196,9 +200,14 @@ func (c *Client) launch(j *writeJob, onDone func()) {
 	capMBps := minf(c.fs.writeCapMBps(j.file, j.regionMB, j.aligned), j.luckCap)
 	c.inflightW++
 	start := func() {
+		// Degraded-OST ceilings are sampled at actual stream start so a
+		// stall window that opens mid-queue still catches the stream.
+		launched := c.fs.Cl.Eng.Now()
+		capMBps := minf(capMBps, c.fs.ostCapMBps(j.file, j.offset, j.length, launched))
 		c.node.Port.Start(j.demandMB, flownet.StreamOpts{
 			RateCap: capMBps,
 			Done: func() {
+				c.fs.noteOSTService(j.file, j.offset, j.length, j.demandMB, c.fs.Cl.Eng.Now()-launched)
 				c.inflightW--
 				c.fs.activeWriteJobs--
 				j.file.activeWriters--

@@ -29,6 +29,42 @@ type FS struct {
 	// OnPathology, when set, is called for every read that takes the
 	// degenerate page-read path (diagnostics and tests).
 	OnPathology func(nodeID int, t sim.Time, dirtyMB float64)
+
+	// DefaultStripeCount, when non-zero, is the stripe count assigned
+	// to newly created files (0 = stripe over all OSTs) — the
+	// `lfs setstripe -c` default of the mount. File-per-process fault
+	// studies set 1 so each file is pinned to a single OST.
+	DefaultStripeCount int
+
+	// nextOST is the round-robin starting-OST assignment counter for
+	// new files (Lustre's default allocator behaviour, modulo load
+	// balancing).
+	nextOST int
+
+	// Injected degradations (see internal/faults). ostMul is a
+	// per-OST permanent service-rate multiplier (nil = all clean);
+	// ostStalls are periodic stall windows in virtual time; mdsDeg
+	// elevates the lock-revocation tail on every metadata op.
+	ostMul    []float64
+	ostStalls []ostStall
+	mdsDeg    *mdsDegrade
+}
+
+// ostStall is one periodic stall window on one OST: from startSec on,
+// the first stallSec of every periodSec the OST serves at factor times
+// its rate.
+type ostStall struct {
+	ost       int
+	startSec  float64
+	periodSec float64
+	stallSec  float64
+	factor    float64
+}
+
+// mdsDegrade elevates the metadata path's lock-revocation tail: every
+// MDS op stalls an extra Uniform(loSec, hiSec) with probability prob.
+type mdsDegrade struct {
+	prob, loSec, hiSec float64
 }
 
 // NewFS mounts a file system on the cluster with one client per node.
@@ -43,10 +79,107 @@ func NewFS(cl *cluster.Cluster) *FS {
 		conc = 1
 	}
 	fs.mds = *sim.NewSemaphore(conc)
+	if cl.Prof.OSTs > 0 {
+		fs.stats.PerOST = make([]OSTStat, cl.Prof.OSTs)
+	}
 	for _, n := range cl.Nodes {
 		fs.clients = append(fs.clients, newClient(fs, n))
 	}
 	return fs
+}
+
+// ScaleOST installs a permanent service-rate multiplier on one OST
+// (fault injection; factors compose multiplicatively).
+func (fs *FS) ScaleOST(ost int, factor float64) {
+	fs.checkOST(ost)
+	if fs.ostMul == nil {
+		fs.ostMul = make([]float64, fs.Cl.Prof.OSTs)
+		for i := range fs.ostMul {
+			fs.ostMul[i] = 1
+		}
+	}
+	fs.ostMul[ost] *= factor
+}
+
+// StallOST installs a periodic stall window on one OST: from startSec
+// on, the OST serves at factor times its rate for the first stallSec
+// of every periodSec. The window is a pure function of virtual time,
+// so faulted runs stay exactly as reproducible as clean ones.
+func (fs *FS) StallOST(ost int, startSec, periodSec, stallSec, factor float64) {
+	fs.checkOST(ost)
+	if periodSec <= 0 || stallSec <= 0 {
+		panic("lustre: stall window needs a positive period and span")
+	}
+	fs.ostStalls = append(fs.ostStalls, ostStall{
+		ost: ost, startSec: startSec, periodSec: periodSec, stallSec: stallSec, factor: factor,
+	})
+}
+
+func (fs *FS) checkOST(ost int) {
+	if ost < 0 || ost >= fs.Cl.Prof.OSTs {
+		panic(fmt.Sprintf("lustre: OST %d out of range [0,%d)", ost, fs.Cl.Prof.OSTs))
+	}
+}
+
+// SetMDSConcurrency rebuilds the metadata semaphore with n permits
+// (fault injection; must be called before the workload launches).
+func (fs *FS) SetMDSConcurrency(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	fs.mds = *sim.NewSemaphore(n)
+}
+
+// DegradeMDS adds a lock-revocation stall tail to every metadata-path
+// operation: with probability prob an op stalls an extra
+// Uniform(loSec, hiSec) seconds while holding its service slot.
+func (fs *FS) DegradeMDS(prob, loSec, hiSec float64) {
+	fs.mdsDeg = &mdsDegrade{prob: prob, loSec: loSec, hiSec: hiSec}
+}
+
+// ostCapMBps returns the per-stream service-rate ceiling imposed by
+// degraded OSTs on the extent [offset, offset+length) at time t: the
+// minimum over touched OSTs of factor x OSTServiceMBps, or +Inf when
+// every touched OST is clean. Healthy OSTs impose no cap — their
+// service rate is already folded into the fabric's aggregate capacity.
+func (fs *FS) ostCapMBps(f *File, offset, length int64, t sim.Time) float64 {
+	if fs.ostMul == nil && len(fs.ostStalls) == 0 {
+		return math.Inf(1)
+	}
+	cap := math.Inf(1)
+	f.Layout.ForEachOST(offset, length, fs.Cl.Prof.OSTs, func(ost int, _ float64) {
+		factor := 1.0
+		if fs.ostMul != nil {
+			factor = fs.ostMul[ost]
+		}
+		for _, s := range fs.ostStalls {
+			if s.ost == ost && float64(t) >= s.startSec &&
+				math.Mod(float64(t)-s.startSec, s.periodSec) < s.stallSec {
+				factor *= s.factor
+			}
+		}
+		if factor < 1 {
+			if c := factor * fs.Cl.Prof.OSTServiceMBps; c < cap {
+				cap = c
+			}
+		}
+	})
+	return cap
+}
+
+// noteOSTService attributes one completed data stream to the OSTs its
+// extent touches, weighted by stripe share — the server-side per-OST
+// observation surfaced through Stats.PerOST.
+func (fs *FS) noteOSTService(f *File, offset, length int64, demandMB float64, dur sim.Duration) {
+	if len(fs.stats.PerOST) == 0 || dur <= 0 {
+		return
+	}
+	f.Layout.ForEachOST(offset, length, len(fs.stats.PerOST), func(ost int, frac float64) {
+		st := &fs.stats.PerOST[ost]
+		st.Streams++
+		st.MB += demandMB * frac
+		st.Seconds += float64(dur) * frac
+	})
 }
 
 // File is a file in the simulated namespace. Contents are not stored;
@@ -65,15 +198,24 @@ type File struct {
 // ActiveWriters reports this file's queued or in-flight write jobs.
 func (f *File) ActiveWriters() int { return f.activeWriters }
 
-// Create creates (or truncates) a file with the default layout:
-// 1 MB stripes over all OSTs.
+// Create creates (or truncates) a file with the mount's default
+// layout: 1 MB stripes over DefaultStripeCount OSTs (all of them when
+// zero), starting from a round-robin-assigned OST.
 func (fs *FS) Create(name string) *File {
+	count := fs.DefaultStripeCount
+	if count <= 0 || count > fs.Cl.Prof.OSTs {
+		count = fs.Cl.Prof.OSTs
+	}
 	f := &File{
 		Name: name,
 		Layout: Layout{
 			StripeBytes: int64(fs.Cl.Prof.StripeMB * 1e6),
-			Count:       fs.Cl.Prof.OSTs,
+			Count:       count,
+			OSTOffset:   fs.nextOST,
 		},
+	}
+	if fs.Cl.Prof.OSTs > 0 {
+		fs.nextOST = (fs.nextOST + 1) % fs.Cl.Prof.OSTs
 	}
 	fs.files[name] = f
 	return f
@@ -147,6 +289,12 @@ func (fs *FS) MDSOp(p *sim.Proc, payloadBytes int64) sim.Duration {
 
 func (fs *FS) mdsOp(p *sim.Proc, payloadBytes int64, extraSlow sim.Duration) sim.Duration {
 	fs.stats.MDSOps++
+	if d := fs.mdsDeg; d != nil && d.prob > 0 && fs.rng.Bernoulli(d.prob) {
+		// Brownout: the op holds its service slot through an elevated
+		// lock-revocation stall, starving everything queued behind it.
+		extraSlow += sim.Duration(fs.rng.Uniform(d.loSec, d.hiSec))
+		fs.stats.MDSSlowOps++
+	}
 	start := p.Now()
 	fs.mds.Acquire(p)
 	prof := fs.Cl.Prof

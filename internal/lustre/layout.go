@@ -12,9 +12,54 @@ import "math"
 
 // Layout describes the striping of a file. StripeBytes is the stripe
 // (and RPC) size; Count the number of OSTs the file is striped over.
+// OSTOffset is the index of the OST holding stripe 0 (Lustre's
+// starting-index assignment): stripe i lives on OST
+// (OSTOffset + i mod Count) mod totalOSTs.
 type Layout struct {
 	StripeBytes int64
 	Count       int
+	OSTOffset   int
+}
+
+// ForEachOST calls fn once per distinct OST serving the extent
+// [offset, offset+length), in ascending stripe-slot order, with the
+// fraction of the extent's stripes that live on that OST. totalOSTs is
+// the file system's OST population; a Count of 0 (or one exceeding the
+// population) stripes over all OSTs.
+func (l Layout) ForEachOST(offset, length int64, totalOSTs int, fn func(ost int, frac float64)) {
+	if length <= 0 || totalOSTs <= 0 {
+		return
+	}
+	count := l.Count
+	if count <= 0 || count > totalOSTs {
+		count = totalOSTs
+	}
+	if l.StripeBytes <= 0 || count == 1 {
+		fn(l.OSTOffset%totalOSTs, 1)
+		return
+	}
+	first := offset / l.StripeBytes
+	last := (offset + length - 1) / l.StripeBytes
+	n := last - first + 1
+	if n >= int64(count) {
+		// Every stripe slot is touched; the round-robin split is even
+		// to within one stripe.
+		for s := 0; s < count; s++ {
+			fn((l.OSTOffset+s)%totalOSTs, 1/float64(count))
+		}
+		return
+	}
+	// Fewer stripes than slots: accumulate per-slot counts (slots may
+	// wrap), then report in ascending slot order.
+	counts := make([]int64, count)
+	for i := int64(0); i < n; i++ {
+		counts[(first+i)%int64(count)]++
+	}
+	for s, c := range counts {
+		if c > 0 {
+			fn((l.OSTOffset+s)%totalOSTs, float64(c)/float64(n))
+		}
+	}
 }
 
 // Aligned reports whether a write of length bytes at the given offset

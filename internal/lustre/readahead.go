@@ -105,6 +105,10 @@ func (c *Client) Read(p *sim.Proc, f *File, rs *ReadState, offset, length int64)
 				capMBps = prof.PathologyFloorMBps
 			}
 		}
+		// Degraded-OST ceilings are evaluated per chunk, so a stall
+		// window opening mid-call slows the remaining segments only —
+		// the within-call onset behind the flaky-OST signature.
+		capMBps = minf(capMBps, c.fs.ostCapMBps(f, offset, length, p.Now()))
 		c.node.Port.Transfer(p, per, flownet.StreamOpts{RateCap: capMBps})
 	}
 	if pathological {
@@ -112,5 +116,7 @@ func (c *Client) Read(p *sim.Proc, f *File, rs *ReadState, offset, length int64)
 			rs.severity *= grow
 		}
 	}
-	return p.Now() - start
+	dur := p.Now() - start
+	c.fs.noteOSTService(f, offset, length, demand, dur)
+	return dur
 }

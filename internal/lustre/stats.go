@@ -24,6 +24,28 @@ type Stats struct {
 	MDSOps      int64 // serialized metadata operations
 	SmallWrites int64 // sub-threshold writes routed via the MDS
 	MDSSlowOps  int64 // small writes that hit the lock-revocation stall
+
+	// PerOST is the server-side view per object storage target: each
+	// completed data stream's bytes and service time are attributed to
+	// the OSTs its extent touches, weighted by stripe share. A
+	// straggling OST shows up here as a depressed mean service rate —
+	// the cross-check the straggler-OST diagnosis uses.
+	PerOST []OSTStat
+}
+
+// OSTStat aggregates one OST's attributed service observations.
+type OSTStat struct {
+	Streams int64   // completed streams that touched this OST
+	MB      float64 // megabytes attributed (stripe-share weighted)
+	Seconds float64 // stream seconds attributed (stripe-share weighted)
+}
+
+// MeanMBps is the OST's byte-weighted mean per-stream service rate.
+func (o OSTStat) MeanMBps() float64 {
+	if o.Seconds <= 0 {
+		return 0
+	}
+	return o.MB / o.Seconds
 }
 
 func (s Stats) String() string {
@@ -35,5 +57,10 @@ func (s Stats) String() string {
 		s.MDSOps, s.SmallWrites, s.MDSSlowOps)
 }
 
-// Stats returns the current counter snapshot.
-func (fs *FS) Stats() Stats { return fs.stats }
+// Stats returns the current counter snapshot. The per-OST slice is
+// copied so the snapshot stays stable while the simulation advances.
+func (fs *FS) Stats() Stats {
+	s := fs.stats
+	s.PerOST = append([]OSTStat(nil), fs.stats.PerOST...)
+	return s
+}

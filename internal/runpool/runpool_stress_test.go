@@ -1,0 +1,133 @@
+package runpool
+
+// Stress tests for the pool's concurrency contract, meant to run
+// under the race detector (the CI step `go test -race
+// ./internal/runpool ./internal/sim`): exactly-once execution under
+// contention, panics raised mid-pool, and more workers than items.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapExactlyOnceUnderContention hammers a large job list with
+// many workers and verifies every index ran exactly once and landed
+// in its own slot.
+func TestMapExactlyOnceUnderContention(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const jobs = 10000
+	counts := make([]int64, jobs)
+	in := make([]int, jobs)
+	for i := range in {
+		in[i] = i
+	}
+	for round := 0; round < 5; round++ {
+		got := Map(16, in, func(i, j int) int {
+			atomic.AddInt64(&counts[i], 1)
+			return j * 2
+		})
+		for i, v := range got {
+			if v != i*2 {
+				t.Fatalf("round %d: result[%d] = %d, want %d (completion-order leak?)", round, i, v, i*2)
+			}
+		}
+	}
+	for i, c := range counts {
+		if c != 5 {
+			t.Errorf("job %d ran %d times across 5 rounds, want 5", i, c)
+		}
+	}
+}
+
+// TestMapPanicMidPool: a panic in one job must drain the in-flight
+// jobs, stop handing out new ones, and re-raise on the caller — not
+// deadlock, not leak goroutines, not get swallowed.
+func TestMapPanicMidPool(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const jobs = 1000
+	var ran int64
+	in := make([]int, jobs)
+	for i := range in {
+		in[i] = i
+	}
+	var caught any
+	func() {
+		defer func() { caught = recover() }()
+		Map(8, in, func(i, j int) int {
+			atomic.AddInt64(&ran, 1)
+			if i == jobs/2 {
+				panic(fmt.Sprintf("job %d exploded", i))
+			}
+			return j
+		})
+	}()
+	if caught == nil {
+		t.Fatal("panic in a pool job was swallowed")
+	}
+	if msg, ok := caught.(string); !ok || !strings.Contains(msg, "exploded") {
+		t.Errorf("re-raised panic = %v, want the job's own message", caught)
+	}
+	if n := atomic.LoadInt64(&ran); n == 0 || n > jobs {
+		t.Errorf("%d jobs ran, want between 1 and %d", n, jobs)
+	}
+}
+
+// TestMapPanicEveryJob: simultaneous panics from every worker must
+// still produce exactly one re-raise.
+func TestMapPanicEveryJob(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	in := make([]int, 64)
+	var caught any
+	func() {
+		defer func() { caught = recover() }()
+		Map(16, in, func(i, _ int) int { panic(i) })
+	}()
+	if caught == nil {
+		t.Fatal("panicking pool returned normally")
+	}
+}
+
+// TestMapMoreWorkersThanItems: the pool must clamp to the job count —
+// no worker may spin on an empty cursor or double-claim the tail.
+func TestMapMoreWorkersThanItems(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	for _, jobs := range []int{0, 1, 2, 3} {
+		in := make([]int, jobs)
+		for i := range in {
+			in[i] = i + 100
+		}
+		counts := make([]int64, jobs)
+		got := Map(64, in, func(i, j int) int {
+			atomic.AddInt64(&counts[i], 1)
+			return j
+		})
+		if len(got) != jobs {
+			t.Fatalf("jobs=%d: got %d results", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i+100 {
+				t.Errorf("jobs=%d: result[%d] = %d, want %d", jobs, i, v, i+100)
+			}
+			if counts[i] != 1 {
+				t.Errorf("jobs=%d: job %d ran %d times", jobs, i, counts[i])
+			}
+		}
+	}
+}
+
+// TestEachMoreWorkersThanItems covers the Each wrapper on the same
+// degenerate shapes.
+func TestEachMoreWorkersThanItems(t *testing.T) {
+	var ran int64
+	Each(32, []int{1, 2}, func(i, j int) { atomic.AddInt64(&ran, 1) })
+	if ran != 2 {
+		t.Errorf("Each ran %d jobs, want 2", ran)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ensembleio/internal/cluster"
+	"ensembleio/internal/faults"
 	"ensembleio/internal/h5lite"
 	"ensembleio/internal/ipmio"
 )
@@ -50,9 +51,12 @@ type GCRMConfig struct {
 	// ~= 1 MB total, matching the paper's aggregated single 1 MB).
 	MetaOpsPerVar int
 
-	Seed int64
-	Mode ipmio.Mode
-	Path string
+	// Faults, when non-nil, is the degradation scenario injected into
+	// the machine before the run (see internal/faults).
+	Faults *faults.Scenario
+	Seed   int64
+	Mode   ipmio.Mode
+	Path   string
 }
 
 func (c *GCRMConfig) defaults() {
@@ -112,6 +116,7 @@ func RunGCRM(cfg GCRMConfig) *Run {
 	}
 
 	j := newJob(cfg.Machine, ranks, cfg.Seed, cfg.Mode)
+	j.applyFaults(cfg.Faults)
 
 	// In two-stage mode, writer w is world rank w*perWriter (spreading
 	// aggregators across nodes); its group is the perWriter ranks
@@ -226,11 +231,11 @@ func RunGCRM(cfg GCRMConfig) *Run {
 	case cfg.Aggregators > 0:
 		name = "gcrm-collective"
 	}
-	return &Run{
+	return j.finish(&Run{
 		Name:       name,
 		Tasks:      cfg.Tasks,
 		Collector:  j.col,
 		Wall:       j.wall,
 		TotalBytes: int64(cfg.TotalRecords()) * cfg.RecordBytes,
-	}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ensembleio/internal/cluster"
+	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/posixio"
 )
@@ -29,6 +30,13 @@ type IORConfig struct {
 	// avoids all shared-file extent-lock contention at the cost of a
 	// metadata storm and N files to manage.
 	FilePerProcess bool
+	// StripeCount overrides the stripe count of newly created files
+	// (0 = stripe over all OSTs). File-per-process straggler studies
+	// use 1 to pin each task's file to a single OST.
+	StripeCount int
+	// Faults, when non-nil, is the degradation scenario injected into
+	// the machine before the run (see internal/faults).
+	Faults *faults.Scenario
 	// Seed selects the run (different seeds = different runs of the
 	// same experiment).
 	Seed int64
@@ -72,6 +80,8 @@ func RunIOR(cfg IORConfig) *Run {
 		flags = posixio.OCreat | posixio.ORdwr
 	}
 	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	j.fs.DefaultStripeCount = cfg.StripeCount
+	j.applyFaults(cfg.Faults)
 	j.launch(func(r *mpiRank, tr *tracer) {
 		path := cfg.Path
 		base := int64(r.ID) * cfg.BlockBytes
@@ -119,11 +129,11 @@ func RunIOR(cfg IORConfig) *Run {
 	if cfg.FilePerProcess {
 		name += "-fpp"
 	}
-	return &Run{
+	return j.finish(&Run{
 		Name:       name,
 		Tasks:      cfg.Tasks,
 		Collector:  j.col,
 		Wall:       j.wall,
 		TotalBytes: total,
-	}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ensembleio/internal/cluster"
+	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/lustre"
 	"ensembleio/internal/posixio"
@@ -31,9 +32,12 @@ type MADbenchConfig struct {
 	MatrixBytes int64
 	// AlignBytes pads each matrix slot (paper: 1 MB).
 	AlignBytes int64
-	Seed       int64
-	Mode       ipmio.Mode
-	Path       string
+	// Faults, when non-nil, is the degradation scenario injected into
+	// the machine before the run (see internal/faults).
+	Faults *faults.Scenario
+	Seed   int64
+	Mode   ipmio.Mode
+	Path   string
 	// Instrument, when set, receives the mounted file system before
 	// launch (diagnostic hooks, e.g. lustre.FS.OnPathology).
 	Instrument func(fs *lustre.FS)
@@ -74,6 +78,7 @@ func RunMADbench(cfg MADbenchConfig) *Run {
 	stride := cfg.Stride()
 
 	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	j.applyFaults(cfg.Faults)
 	if cfg.Instrument != nil {
 		cfg.Instrument(j.fs)
 	}
@@ -114,14 +119,14 @@ func RunMADbench(cfg MADbenchConfig) *Run {
 	})
 
 	perTask := int64(cfg.Matrices) * cfg.MatrixBytes
-	return &Run{
+	return j.finish(&Run{
 		Name:      fmt.Sprintf("madbench-%d-%s", cfg.Tasks, cfg.Machine.Name),
 		Tasks:     cfg.Tasks,
 		Collector: j.col,
 		Wall:      j.wall,
 		// S writes + W reads + W writes + C reads.
 		TotalBytes: int64(cfg.Tasks) * perTask * 4,
-	}
+	})
 }
 
 func must(_ int64, err error) {

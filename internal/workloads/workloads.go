@@ -8,6 +8,7 @@ package workloads
 
 import (
 	"ensembleio/internal/cluster"
+	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/lustre"
 	"ensembleio/internal/mpi"
@@ -33,6 +34,13 @@ type Run struct {
 	// TotalBytes is the logical data volume moved by the workload's
 	// sized operations (writes + reads), excluding metadata.
 	TotalBytes int64
+	// FSStats is the file system's server-side counter snapshot at the
+	// end of the run — the second observation channel the advisor's
+	// straggler-OST cross-check uses.
+	FSStats lustre.Stats
+	// CoresPerNode records the machine's rank-to-node block factor so
+	// analysis can map ranks to nodes without the profile in hand.
+	CoresPerNode int
 }
 
 // AggregateMBps is the job-level rate the paper reports: total data
@@ -71,6 +79,24 @@ func newJob(prof cluster.Profile, tasks int, seed int64, mode ipmio.Mode) *job {
 		w:   mpi.NewWorld(eng, cl, tasks, mpi.Config{}),
 		col: ipmio.NewCollector(mode),
 	}
+}
+
+// applyFaults installs a degradation scenario (if any) on the freshly
+// built machine and mounted file system, before launch.
+func (j *job) applyFaults(s *faults.Scenario) {
+	if s == nil {
+		return
+	}
+	if err := s.Apply(j.cl, j.fs); err != nil {
+		panic(err)
+	}
+}
+
+// finish snapshots the per-run server-side state into the artifact.
+func (j *job) finish(r *Run) *Run {
+	r.FSStats = j.fs.Stats()
+	r.CoresPerNode = j.cl.Prof.CoresPerNode
+	return r
 }
 
 // launch runs body on every rank, tracking the makespan and stopping
