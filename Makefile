@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race race-stress lint fmt vet fuzz-smoke bench bench-smoke ci
+.PHONY: build test race race-stress lint fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard ci
 
 build:
 	$(GO) build ./...
@@ -48,11 +48,34 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 ./...
 
+# trace-smoke: the end-to-end telemetry workflow — a faulted IOR run
+# exports a Chrome trace, a span stream, and a metrics snapshot; the
+# trace must pass the schema validator (i.e. load in Perfetto) and
+# ensembletop must digest the snapshot into its hot-spot tables.
+trace-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/iorbench -tasks 64 -faults testdata/scenarios/flaky-ost.json \
+		-trace out/smoke.trace.json -traceformat chrome -telemetry out/smoke.telemetry.json
+	$(GO) run ./cmd/tracestat -validate-chrome out/smoke.trace.json
+	$(GO) run ./cmd/iorbench -tasks 64 -faults testdata/scenarios/flaky-ost.json \
+		-trace out/smoke.spans.jsonl -traceformat spans
+	$(GO) run ./cmd/ensembletop -top 5 -spans out/smoke.spans.jsonl out/smoke.telemetry.json
+
+# bench-guard: the telemetry-off hot path must stay within noise of
+# the checked-in baseline. Three repetitions of the focused benchmarks,
+# best-of compared against the baseline's best with generous slack —
+# this catches "the disabled path got hot", not scheduler jitter.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkSimulatorThroughputSingle$$' \
+		-benchtime 1x -count 3 . | $(GO) run ./cmd/benchjson -check BENCH_ensembleio.json -slack 3.0
+
 # One target per invocation: go test allows a single -fuzz pattern
 # match per run.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzTraceDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzTraceDecodeJSONL$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzProfileJSON$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
+	$(GO) test -run='^$$' -fuzz='FuzzSpanDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
+	$(GO) test -run='^$$' -fuzz='FuzzMetricsDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 
-ci: build lint race race-stress bench-smoke fuzz-smoke
+ci: build lint race race-stress bench-smoke trace-smoke bench-guard fuzz-smoke

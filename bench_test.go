@@ -200,6 +200,29 @@ func BenchmarkAblation_OSTLuck(b *testing.B) {
 	}
 }
 
+// --- Telemetry overhead ---
+
+// benchTelemetry is the telemetry cost probe: the same mid-size IOR
+// run with the sink on or off. The disabled variant is the number the
+// bench guard watches — a nil sink must cost only dead nil-checks, so
+// Disabled should be statistically indistinguishable from the
+// pre-telemetry baseline, and Enabled bounds the price of -trace.
+func benchTelemetry(b *testing.B, enabled bool) {
+	for i := 0; i < b.N; i++ {
+		run := RunIOR(IORConfig{
+			Machine: Franklin(), Tasks: 256, Reps: 3,
+			Seed: int64(i + 1), Telemetry: enabled,
+		})
+		if enabled && run.Telemetry == nil {
+			b.Fatal("telemetry requested but absent")
+		}
+		reportRun(b, run)
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, false) }
+func BenchmarkTelemetryEnabled(b *testing.B)  { benchTelemetry(b, true) }
+
 // --- Statistical core micro-benchmarks ---
 
 func syntheticDataset(n int) *Dataset {

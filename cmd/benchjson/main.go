@@ -7,15 +7,28 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem -count 3 ./... | benchjson > BENCH_ensembleio.json
+//	go test -run '^$' -bench <guard set> ./... | benchjson -check BENCH_ensembleio.json -slack 2.0
+//
+// -check compares the run on stdin against a checked-in baseline
+// instead of emitting JSON: for every benchmark present in both, the
+// best (minimum) ns/op of the new run must be within slack times the
+// baseline's best. Exit status 1 on regression — the CI guard that the
+// disabled-telemetry path stays within noise of the baseline.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
+	"fmt"
 	"log"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+
+	"ensembleio/internal/cliutil"
 )
 
 // baseline is the checked-in BENCH_ensembleio.json shape. Maps
@@ -36,6 +49,16 @@ type baseline struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	var (
+		check   = flag.String("check", "", "compare stdin against this baseline JSON instead of emitting JSON")
+		slack   = flag.Float64("slack", 2.0, "with -check, allowed ns/op ratio over the baseline best")
+		version = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
 
 	out := baseline{
 		Context:    map[string][]string{},
@@ -85,6 +108,13 @@ func main() {
 		log.Fatal("no benchmark lines on stdin (pipe `go test -bench` output in)")
 	}
 
+	if *check != "" {
+		if err := checkAgainst(out, *check, *slack); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// Encode straight to stdout: a write error (ENOSPC on a redirected
 	// baseline file) must not pass silently.
 	enc := json.NewEncoder(os.Stdout)
@@ -92,4 +122,79 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// gomaxprocsSuffix strips the trailing -P parallelism tag go test
+// appends to benchmark names; baselines recorded on another machine
+// carry a different suffix for the same benchmark.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// checkAgainst compares the parsed run against the baseline file: for
+// every benchmark present in both, the new best ns/op must not exceed
+// slack times the baseline best. Comparing minima (benchstat's summary
+// of repetitions) filters scheduler noise; the generous default slack
+// means only gross regressions — an accidentally-hot disabled path —
+// trip the guard.
+func checkAgainst(run baseline, path string, slack float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseBest := map[string]float64{}
+	for name, metrics := range base.Benchmarks {
+		if v, ok := best(metrics["ns/op"]); ok {
+			baseBest[gomaxprocsSuffix.ReplaceAllString(name, "")] = v
+		}
+	}
+	names := make([]string, 0, len(run.Benchmarks))
+	for name := range run.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared := 0
+	var failures []string
+	for _, name := range names {
+		short := gomaxprocsSuffix.ReplaceAllString(name, "")
+		bv, ok := baseBest[short]
+		if !ok {
+			continue
+		}
+		nv, ok := best(run.Benchmarks[name]["ns/op"])
+		if !ok {
+			continue
+		}
+		compared++
+		if nv > slack*bv {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (x%.2f > allowed x%.2f)", short, nv, bv, nv/bv, slack))
+		} else {
+			fmt.Printf("ok  %s: %.0f ns/op vs baseline %.0f (x%.2f)\n", short, nv, bv, nv/bv)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no overlapping benchmarks between stdin and %s", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf regression against %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("%d benchmark(s) within x%.2f of baseline\n", compared, slack)
+	return nil
+}
+
+// best returns the minimum of vs (the least-noise repetition).
+func best(vs []float64) (float64, bool) {
+	if len(vs) == 0 {
+		return 0, false
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m, true
 }

@@ -20,6 +20,7 @@ import (
 
 	"ensembleio"
 	"ensembleio/internal/analysis"
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/ensemble"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/report"
@@ -33,7 +34,22 @@ func main() {
 	profiles := flag.Bool("profiles", false, "inputs are profile JSON files, not traces")
 	ksFlag := flag.Float64("ks", 0, "KS verdict threshold (0 = adaptive: the alpha=0.001 two-sample critical value, at least 0.1)")
 	jobs := flag.Int("j", 0, "parallel input loaders (0 = all cores)")
+	prof := flag.String("prof", "", "write CPU/heap profiles to PREFIX.{cpu,heap}.pprof")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	stopProf, err := cliutil.StartProfiles(*prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 	ksThreshold = *ksFlag
 	if flag.NArg() != 2 {
 		log.Fatal("usage: ensemblecmp [-profiles] [-j N] A B")

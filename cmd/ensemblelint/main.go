@@ -10,6 +10,8 @@
 //	floateq    no ==/!= between computed floats in statistics code
 //	errclose   no silently dropped Close/Flush/Write errors in the
 //	           persistence layer and CLIs
+//	telwall    no wall-clock reads or global math/rand in the
+//	           telemetry and trace-format packages (virtual time only)
 //
 // Usage:
 //
@@ -29,15 +31,21 @@ import (
 	"os"
 	"strings"
 
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/lint"
 )
 
 func main() {
 	var (
-		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		version = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {

@@ -1,0 +1,357 @@
+// Command ensembletop summarizes telemetry snapshots into hot-spot
+// tables — the "where did the virtual time go" view over one run or an
+// aggregate of many. Given snapshot files written with -telemetry, it
+// prints the top counters, the gauges with their high-water marks,
+// histogram summaries, and (when the run carried per-OST counters) an
+// OST table sorted by injected stall time so a degraded server tops
+// the list. With -spans it also breaks span wall time down by
+// category.
+//
+// Usage:
+//
+//	ensembletop [-top N] [-spans run.spans.jsonl] run.telemetry.json [more.json ...]
+//
+// Multiple snapshots aggregate: counters and histogram summaries sum,
+// gauges keep their maximum — the natural reading for an ensemble of
+// runs of the same experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ensembleio/internal/cliutil"
+	"ensembleio/internal/report"
+	"ensembleio/internal/telemetry"
+	"ensembleio/internal/tracefmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ensembletop: ")
+	var (
+		top     = flag.Int("top", 10, "rows per table")
+		spans   = flag.String("spans", "", "also summarize this span JSONL file by category")
+		prof    = flag.String("prof", "", "write CPU/heap profiles to PREFIX.{cpu,heap}.pprof")
+		version = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	stopProf, err := cliutil.StartProfiles(*prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	if flag.NArg() == 0 && *spans == "" {
+		log.Fatal("usage: ensembletop [-top N] [-spans FILE] snapshot.json ...")
+	}
+
+	agg := aggregate(flag.Args())
+	if agg != nil {
+		printCounters(agg, *top)
+		printGauges(agg)
+		printHists(agg, *top)
+		printOSTs(agg, *top)
+	}
+	if *spans != "" {
+		printSpans(*spans, *top)
+	}
+}
+
+// aggregate folds every snapshot file into one: counters sum, gauges
+// take the max, histogram summaries merge (bins are dropped — the
+// per-decade layout is only meaningful within one run). Returns nil
+// when no files were given.
+func aggregate(paths []string) *telemetry.Snapshot {
+	if len(paths) == 0 {
+		return nil
+	}
+	counters := map[string]float64{}
+	gauges := map[string]telemetry.GaugeSnap{}
+	hists := map[string]telemetry.HistSnap{}
+	for _, path := range paths {
+		snap := loadSnapshot(path)
+		for _, c := range snap.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range snap.Gauges {
+			cur, ok := gauges[g.Name]
+			if !ok {
+				gauges[g.Name] = g
+				continue
+			}
+			if g.Value > cur.Value {
+				cur.Value = g.Value
+			}
+			if g.Max > cur.Max {
+				cur.Max = g.Max
+			}
+			gauges[g.Name] = cur
+		}
+		for _, h := range snap.Hists {
+			cur, ok := hists[h.Name]
+			if !ok {
+				h.Bins = nil
+				hists[h.Name] = h
+				continue
+			}
+			cur.Count += h.Count
+			cur.Under += h.Under
+			cur.Sum += h.Sum
+			if h.Min < cur.Min {
+				cur.Min = h.Min
+			}
+			if h.Max > cur.Max {
+				cur.Max = h.Max
+			}
+			hists[h.Name] = cur
+		}
+	}
+	out := &telemetry.Snapshot{}
+	for _, name := range sortedKeys(counters) {
+		out.Counters = append(out.Counters, telemetry.CounterSnap{Name: name, Value: counters[name]})
+	}
+	for _, name := range sortedKeys(gauges) {
+		out.Gauges = append(out.Gauges, gauges[name])
+	}
+	for _, name := range sortedKeys(hists) {
+		out.Hists = append(out.Hists, hists[name])
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func loadSnapshot(path string) *telemetry.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close() //lint:allow errclose file opened read-only
+	snap, err := tracefmt.ReadMetrics(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return snap
+}
+
+func printCounters(s *telemetry.Snapshot, top int) {
+	// Per-OST counters get their own table; keep this one readable.
+	var cs []telemetry.CounterSnap
+	for _, c := range s.Counters {
+		if ostIndex(c.Name) < 0 {
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) == 0 {
+		return
+	}
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Value > cs[j].Value })
+	if len(cs) > top {
+		cs = cs[:top]
+	}
+	rows := [][]string{{"counter", "value"}}
+	for _, c := range cs {
+		rows = append(rows, []string{c.Name, report.F(c.Value, 2)})
+	}
+	fmt.Println("top counters")
+	report.Table(os.Stdout, rows)
+	fmt.Println()
+}
+
+func printGauges(s *telemetry.Snapshot) {
+	if len(s.Gauges) == 0 {
+		return
+	}
+	rows := [][]string{{"gauge", "final", "high-water"}}
+	for _, g := range s.Gauges {
+		rows = append(rows, []string{g.Name, report.F(g.Value, 2), report.F(g.Max, 2)})
+	}
+	fmt.Println("gauges")
+	report.Table(os.Stdout, rows)
+	fmt.Println()
+}
+
+func printHists(s *telemetry.Snapshot, top int) {
+	if len(s.Hists) == 0 {
+		return
+	}
+	hs := append([]telemetry.HistSnap(nil), s.Hists...)
+	sort.SliceStable(hs, func(i, j int) bool { return hs[i].Count > hs[j].Count })
+	if len(hs) > top {
+		hs = hs[:top]
+	}
+	rows := [][]string{{"histogram", "n", "mean", "min", "max"}}
+	for _, h := range hs {
+		rows = append(rows, []string{
+			h.Name, fmt.Sprint(h.Count),
+			report.F(h.Mean(), 4), report.F(h.Min, 4), report.F(h.Max, 4),
+		})
+	}
+	fmt.Println("histograms")
+	report.Table(os.Stdout, rows)
+	fmt.Println()
+}
+
+// ostStat collects the lustre.ostNNN.* counter family for one OST.
+type ostStat struct {
+	ost                     int
+	streams, mb, sec, stall float64
+}
+
+// ostIndex parses the OST number out of a "lustre.ostNNN.<metric>"
+// counter name, or -1 when the name is not per-OST.
+func ostIndex(name string) int {
+	rest, ok := strings.CutPrefix(name, "lustre.ost")
+	if !ok {
+		return -1
+	}
+	num, _, ok := strings.Cut(rest, ".")
+	if !ok {
+		return -1
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// printOSTs renders the per-OST hot-spot table: the servers carrying
+// the most traffic and — the diagnostic payoff — any with injected
+// stall time, sorted so stalled then busiest OSTs lead.
+func printOSTs(s *telemetry.Snapshot, top int) {
+	stats := map[int]*ostStat{}
+	for _, c := range s.Counters {
+		i := ostIndex(c.Name)
+		if i < 0 {
+			continue
+		}
+		st, ok := stats[i]
+		if !ok {
+			st = &ostStat{ost: i}
+			stats[i] = st
+		}
+		switch c.Name[strings.LastIndexByte(c.Name, '.')+1:] {
+		case "streams":
+			st.streams = c.Value
+		case "mb":
+			st.mb = c.Value
+		case "seconds":
+			st.sec = c.Value
+		case "stall_s":
+			st.stall = c.Value
+		}
+	}
+	if len(stats) == 0 {
+		return
+	}
+	list := make([]*ostStat, 0, len(stats))
+	for _, st := range stats {
+		list = append(list, st)
+	}
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].stall != list[j].stall {
+			return list[i].stall > list[j].stall
+		}
+		if list[i].sec != list[j].sec {
+			return list[i].sec > list[j].sec
+		}
+		return list[i].ost < list[j].ost
+	})
+	if len(list) > top {
+		list = list[:top]
+	}
+	rows := [][]string{{"ost", "streams", "MB", "busy_s", "stall_s", "MB/s"}}
+	for _, st := range list {
+		rate := 0.0
+		if st.sec > 0 {
+			rate = st.mb / st.sec
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("ost%03d", st.ost),
+			report.F(st.streams, 0), report.F(st.mb, 0),
+			report.F(st.sec, 1), report.F(st.stall, 1), report.F(rate, 0),
+		})
+	}
+	fmt.Println("per-OST hot spots (stalled first)")
+	report.Table(os.Stdout, rows)
+	fmt.Println()
+}
+
+// printSpans breaks a span file down by category: total virtual time,
+// span count, and the longest single span with its name.
+func printSpans(path string, top int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close() //lint:allow errclose file opened read-only
+	spans, err := tracefmt.ReadSpans(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	type catStat struct {
+		cat          string
+		n            int
+		total        float64
+		longest      float64
+		longestLabel string
+	}
+	cats := map[string]*catStat{}
+	for _, sp := range spans {
+		c, ok := cats[sp.Cat]
+		if !ok {
+			c = &catStat{cat: sp.Cat}
+			cats[sp.Cat] = c
+		}
+		d := sp.End - sp.Start
+		c.n++
+		c.total += d
+		if d > c.longest {
+			c.longest = d
+			c.longestLabel = sp.Name
+		}
+	}
+	list := make([]*catStat, 0, len(cats))
+	for _, c := range cats {
+		list = append(list, c)
+	}
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].total != list[j].total {
+			return list[i].total > list[j].total
+		}
+		return list[i].cat < list[j].cat
+	})
+	if len(list) > top {
+		list = list[:top]
+	}
+	rows := [][]string{{"category", "spans", "total_s", "longest_s", "longest span"}}
+	for _, c := range list {
+		rows = append(rows, []string{
+			c.cat, fmt.Sprint(c.n),
+			report.F(c.total, 2), report.F(c.longest, 2), c.longestLabel,
+		})
+	}
+	fmt.Printf("span time by category (%d spans in %s)\n", len(spans), path)
+	report.Table(os.Stdout, rows)
+}

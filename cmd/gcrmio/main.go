@@ -6,7 +6,9 @@
 // Usage:
 //
 //	gcrmio [-tasks N] [-aggregators N] [-twostage] [-align]
-//	       [-metaagg] [-seed N] [-trace FILE]
+//	       [-metaagg] [-seed N] [-trace FILE] [-faults scenario.json]
+//	       [-traceformat binary|jsonl|chrome|spans] [-telemetry FILE]
+//	       [-prof PREFIX] [-version]
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"ensembleio"
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/report"
 )
 
@@ -29,9 +32,42 @@ func main() {
 		align    = flag.Bool("align", false, "pad records to 1 MB boundaries (Fig 6g)")
 		metaagg  = flag.Bool("metaagg", false, "aggregate metadata into one deferred write at close (Fig 6j)")
 		seed     = flag.Int64("seed", 1, "run seed")
-		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
+		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file")
+		scenario = flag.String("faults", "", "inject the fault scenario from this JSON file")
+		format   = flag.String("traceformat", "", "trace encoding: binary, jsonl, chrome, spans (default binary; chrome/spans need telemetry)")
+		telOut   = flag.String("telemetry", "", "write the telemetry metric snapshot (JSON) to this file")
+		profOut  = flag.String("prof", "", "write wall-clock CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	stopProf, err := cliutil.StartProfiles(*profOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	if *format == "" {
+		*format = "binary"
+	}
+	switch *format {
+	case "binary", "jsonl", "chrome", "spans":
+	default:
+		log.Fatalf("unknown -traceformat %q (want binary, jsonl, chrome, or spans)", *format)
+	}
+	withTel := *telOut != "" || *format == "chrome" || *format == "spans"
+	var fs *ensembleio.Scenario
+	if *scenario != "" {
+		if fs, err = ensembleio.LoadScenario(*scenario); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	run := ensembleio.RunGCRM(ensembleio.GCRMConfig{
 		Machine:           ensembleio.Franklin(),
@@ -40,7 +76,9 @@ func main() {
 		TwoStage:          *twoStage,
 		Align:             *align,
 		AggregateMetadata: *metaagg,
+		Faults:            fs,
 		Seed:              *seed,
+		Telemetry:         withTel,
 	})
 
 	fmt.Printf("GCRM %s: %d tasks", run.Name, *tasks)
@@ -82,16 +120,22 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := saveTrace(*trace, run); err != nil {
+		if err := saveTrace(*trace, run, *format); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\ntrace written to %s\n", *trace)
+		fmt.Printf("\ntrace written to %s (%s)\n", *trace, *format)
+	}
+	if *telOut != "" {
+		if err := saveTelemetry(*telOut, run); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry written to %s\n", *telOut)
 	}
 }
 
 // saveTrace persists the run, surfacing write errors deferred to
 // close time (a trace truncated by ENOSPC must not pass silently).
-func saveTrace(path string, run *ensembleio.Run) (err error) {
+func saveTrace(path string, run *ensembleio.Run, format string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -101,5 +145,26 @@ func saveTrace(path string, run *ensembleio.Run) (err error) {
 			err = cerr
 		}
 	}()
+	switch format {
+	case "jsonl":
+		return ensembleio.SaveTraceJSON(f, run)
+	case "chrome":
+		return ensembleio.SaveChromeTrace(f, run)
+	case "spans":
+		return ensembleio.SaveSpans(f, run)
+	}
 	return ensembleio.SaveTrace(f, run)
+}
+
+func saveTelemetry(path string, run *ensembleio.Run) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.SaveTelemetry(f, run)
 }

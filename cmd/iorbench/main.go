@@ -8,7 +8,12 @@
 //	iorbench [-machine franklin|franklin-patched|jaguar] [-tasks N]
 //	         [-block BYTES] [-transfer BYTES] [-reps N] [-seed N]
 //	         [-fpp] [-stripes N] [-faults scenario.json]
-//	         [-trace FILE] [-json]
+//	         [-trace FILE] [-json] [-traceformat binary|jsonl|chrome|spans]
+//	         [-telemetry FILE] [-prof PREFIX] [-version]
+//
+// -traceformat chrome writes Chrome trace-event JSON loadable in
+// Perfetto; spans writes the compact JSONL span format. Both require
+// telemetry, which they enable implicitly (as does -telemetry).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 
 	"ensembleio"
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/report"
 )
 
@@ -34,10 +40,41 @@ func main() {
 		fpp      = flag.Bool("fpp", false, "file per process instead of one shared file")
 		stripes  = flag.Int("stripes", 0, "stripe count for created files (0 = all OSTs)")
 		scenario = flag.String("faults", "", "inject the fault scenario from this JSON file")
-		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
+		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file")
 		jsonOut  = flag.Bool("json", false, "with -trace, write JSON lines instead of binary")
+		format   = flag.String("traceformat", "", "trace encoding: binary, jsonl, chrome, spans (default binary; chrome/spans need telemetry)")
+		telOut   = flag.String("telemetry", "", "write the telemetry metric snapshot (JSON) to this file")
+		profOut  = flag.String("prof", "", "write wall-clock CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	stopProf, err := cliutil.StartProfiles(*profOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	if *format == "" {
+		*format = "binary"
+		if *jsonOut {
+			*format = "jsonl"
+		}
+	}
+	switch *format {
+	case "binary", "jsonl", "chrome", "spans":
+	default:
+		log.Fatalf("unknown -traceformat %q (want binary, jsonl, chrome, or spans)", *format)
+	}
+	// Chrome/span export and metric snapshots all need the run-scoped
+	// telemetry sink.
+	withTel := *telOut != "" || *format == "chrome" || *format == "spans"
 
 	prof, err := platform(*machine)
 	if err != nil {
@@ -57,6 +94,7 @@ func main() {
 		StripeCount:    *stripes,
 		Faults:         fs,
 		Seed:           *seed,
+		Telemetry:      withTel,
 	})
 
 	fmt.Printf("IOR %s: %d tasks x %d MB (transfer %d MB) x %d reps\n",
@@ -85,10 +123,16 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := saveTrace(*trace, run, *jsonOut); err != nil {
+		if err := saveTrace(*trace, run, *format); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\ntrace written to %s\n", *trace)
+		fmt.Printf("\ntrace written to %s (%s)\n", *trace, *format)
+	}
+	if *telOut != "" {
+		if err := saveTelemetry(*telOut, run); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry written to %s\n", *telOut)
 	}
 }
 
@@ -118,7 +162,7 @@ func effTransfer(block, transfer int64) int64 {
 	return transfer
 }
 
-func saveTrace(path string, run *ensembleio.Run, jsonOut bool) (err error) {
+func saveTrace(path string, run *ensembleio.Run, format string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -130,8 +174,26 @@ func saveTrace(path string, run *ensembleio.Run, jsonOut bool) (err error) {
 			err = cerr
 		}
 	}()
-	if jsonOut {
+	switch format {
+	case "jsonl":
 		return ensembleio.SaveTraceJSON(f, run)
+	case "chrome":
+		return ensembleio.SaveChromeTrace(f, run)
+	case "spans":
+		return ensembleio.SaveSpans(f, run)
 	}
 	return ensembleio.SaveTrace(f, run)
+}
+
+func saveTelemetry(path string, run *ensembleio.Run) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.SaveTelemetry(f, run)
 }

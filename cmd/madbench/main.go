@@ -7,7 +7,8 @@
 //
 //	madbench [-machine franklin|franklin-patched|jaguar] [-tasks N]
 //	         [-matrices N] [-seed N] [-faults scenario.json]
-//	         [-trace FILE] [-json]
+//	         [-trace FILE] [-json] [-traceformat binary|jsonl|chrome|spans]
+//	         [-telemetry FILE] [-prof PREFIX] [-version]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"ensembleio"
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/report"
 )
 
@@ -29,10 +31,39 @@ func main() {
 		matrices = flag.Int("matrices", 8, "matrices per task")
 		seed     = flag.Int64("seed", 1, "run seed")
 		scenario = flag.String("faults", "", "inject the fault scenario from this JSON file")
-		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file (binary)")
+		trace    = flag.String("trace", "", "write the IPM-I/O trace to this file")
 		jsonOut  = flag.Bool("json", false, "with -trace, write JSON lines instead of binary")
+		format   = flag.String("traceformat", "", "trace encoding: binary, jsonl, chrome, spans (default binary; chrome/spans need telemetry)")
+		telOut   = flag.String("telemetry", "", "write the telemetry metric snapshot (JSON) to this file")
+		profOut  = flag.String("prof", "", "write wall-clock CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	stopProf, err := cliutil.StartProfiles(*profOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	if *format == "" {
+		*format = "binary"
+		if *jsonOut {
+			*format = "jsonl"
+		}
+	}
+	switch *format {
+	case "binary", "jsonl", "chrome", "spans":
+	default:
+		log.Fatalf("unknown -traceformat %q (want binary, jsonl, chrome, or spans)", *format)
+	}
+	withTel := *telOut != "" || *format == "chrome" || *format == "spans"
 
 	var prof ensembleio.Platform
 	switch *machine {
@@ -54,11 +85,12 @@ func main() {
 		}
 	}
 	run := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
-		Machine:  prof,
-		Tasks:    *tasks,
-		Matrices: *matrices,
-		Faults:   fs,
-		Seed:     *seed,
+		Machine:   prof,
+		Tasks:     *tasks,
+		Matrices:  *matrices,
+		Faults:    fs,
+		Seed:      *seed,
+		Telemetry: withTel,
 	})
 
 	fmt.Printf("MADbench on %s: %d tasks, %d matrices\n", *machine, *tasks, *matrices)
@@ -115,16 +147,22 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := saveTrace(*trace, run, *jsonOut); err != nil {
+		if err := saveTrace(*trace, run, *format); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\ntrace written to %s\n", *trace)
+		fmt.Printf("\ntrace written to %s (%s)\n", *trace, *format)
+	}
+	if *telOut != "" {
+		if err := saveTelemetry(*telOut, run); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry written to %s\n", *telOut)
 	}
 }
 
 // saveTrace persists the run, surfacing write errors deferred to
 // close time (a trace truncated by ENOSPC must not pass silently).
-func saveTrace(path string, run *ensembleio.Run, jsonOut bool) (err error) {
+func saveTrace(path string, run *ensembleio.Run, format string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -134,8 +172,26 @@ func saveTrace(path string, run *ensembleio.Run, jsonOut bool) (err error) {
 			err = cerr
 		}
 	}()
-	if jsonOut {
+	switch format {
+	case "jsonl":
 		return ensembleio.SaveTraceJSON(f, run)
+	case "chrome":
+		return ensembleio.SaveChromeTrace(f, run)
+	case "spans":
+		return ensembleio.SaveSpans(f, run)
 	}
 	return ensembleio.SaveTrace(f, run)
+}
+
+func saveTelemetry(path string, run *ensembleio.Run) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.SaveTelemetry(f, run)
 }

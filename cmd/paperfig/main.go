@@ -8,7 +8,12 @@
 // Usage:
 //
 //	paperfig [-out DIR] [-fig 1a|1b|1c|2|4|5a|5b|5c|6|writers|all] [-seed N] [-j N]
-//	         [-faults scenario.json]
+//	         [-faults scenario.json] [-progress] [-prof PREFIX] [-version]
+//
+// -progress renders a live stderr meter (completed runs, rate, ETA)
+// while the simulation pool drains. The meter observes only completion
+// counts, so every artifact under -out stays byte-identical with or
+// without it, at any -j.
 //
 // With -faults, every simulated run executes against the degraded
 // machine — regenerating the figures under a labeled pathology shows
@@ -26,17 +31,25 @@ import (
 	"strings"
 
 	"ensembleio"
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/report"
 	"ensembleio/internal/runpool"
 )
 
 var (
-	outDir = flag.String("out", "out", "output directory")
-	figSel = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 2 4 5a 5b 5c 6 writers all)")
-	seed   = flag.Int64("seed", 1, "base run seed")
-	jobs   = flag.Int("j", 0, "parallel simulation workers (0 = all cores; output is identical at any -j)")
-	faults = flag.String("faults", "", "inject the fault scenario from this JSON file into every run")
+	outDir   = flag.String("out", "out", "output directory")
+	figSel   = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 2 4 5a 5b 5c 6 writers all)")
+	seed     = flag.Int64("seed", 1, "base run seed")
+	jobs     = flag.Int("j", 0, "parallel simulation workers (0 = all cores; output is identical at any -j)")
+	faults   = flag.String("faults", "", "inject the fault scenario from this JSON file into every run")
+	progress = flag.Bool("progress", false, "render a live run-completion meter on stderr")
+	prof     = flag.String("prof", "", "write CPU/heap profiles to PREFIX.{cpu,heap}.pprof")
+	version  = flag.Bool("version", false, "print build version and exit")
 )
+
+// meter is the optional stderr progress reporter (nil when -progress
+// is unset); prewarm and the writers sweep feed it run completions.
+var meter runpool.Progress
 
 // faultScenario is the -faults scenario, loaded once in main before
 // any spec builds (nil when the flag is unset).
@@ -159,7 +172,7 @@ func prewarm(ids []string) {
 			}
 		}
 	}
-	runs := runpool.Map(*jobs, specs, func(_ int, s runSpec) *ensembleio.Run {
+	runs := runpool.MapProgress(*jobs, specs, meter, func(_ int, s runSpec) *ensembleio.Run {
 		return s.build()
 	})
 	for i, s := range specs {
@@ -177,6 +190,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfig: ")
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	stopProf, err := cliutil.StartProfiles(*prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	if *progress {
+		meter = runpool.StderrProgress(os.Stderr, "paperfig")
+	}
 
 	if *faults != "" {
 		s, err := ensembleio.LoadScenario(*faults)
@@ -549,8 +578,8 @@ func figWriters(txt, csv io.Writer) (string, error) {
 	// writer count, walls averaged over 3 seeds: a writer count
 	// "saturates" when adding more writers no longer shortens the job.
 	counts := []int{16, 32, 48, 80, 160, 320, 1024}
-	pts := ensembleio.IORWriterSweepJ(ensembleio.Franklin(), counts, 4096, 512e6,
-		[]int64{*seed, *seed + 1, *seed + 2}, *jobs)
+	pts := ensembleio.IORWriterSweepProgress(ensembleio.Franklin(), counts, 4096, 512e6,
+		[]int64{*seed, *seed + 1, *seed + 2}, *jobs, meter)
 	best := pts[len(pts)-1].WallSec
 	for _, p := range pts {
 		if p.WallSec < best {

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	tracestat [-op read|write] [-log] [-diagram] [-ranks N] FILE
+//	tracestat -validate-chrome FILE
+//
+// -validate-chrome schema-checks a Chrome trace-event export (the
+// format iorbench -traceformat chrome writes) instead of analysing an
+// IPM-I/O trace; CI's trace-smoke target runs it over exporter output.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"ensembleio"
 	"ensembleio/internal/analysis"
+	"ensembleio/internal/cliutil"
 	"ensembleio/internal/ensemble"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/report"
@@ -31,10 +37,34 @@ func main() {
 		logBins = flag.Bool("log", false, "log-binned histogram (for heavy-tailed traces)")
 		diagram = flag.Bool("diagram", false, "render the trace diagram")
 		ranks   = flag.Int("ranks", 0, "rank count for the diagram (default: max rank + 1)")
+		chrome  = flag.Bool("validate-chrome", false, "validate FILE as Chrome trace-event JSON and exit")
+		profOut = flag.String("prof", "", "write wall-clock CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		version = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: tracestat [flags] FILE")
+	}
+	stopProf, err := cliutil.StartProfiles(*profOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	if *chrome {
+		n, err := validateChrome(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid Chrome trace, %d events\n", flag.Arg(0), n)
+		return
 	}
 
 	events, marks, err := load(flag.Arg(0))
@@ -129,6 +159,16 @@ func main() {
 			fmt.Printf("  %s\n", f)
 		}
 	}
+}
+
+// validateChrome schema-checks a Chrome trace-event JSON file.
+func validateChrome(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() //lint:allow errclose file opened read-only
+	return ensembleio.ValidateChromeTrace(bufio.NewReader(f))
 }
 
 // load auto-detects the trace format by its first byte ('{' = JSONL).

@@ -219,6 +219,73 @@ func faultedArtifacts(t *testing.T, workers int) []byte {
 	return buf.Bytes()
 }
 
+// telemetryArtifacts runs a seeded ensemble of faulted,
+// telemetry-enabled IOR simulations at the given worker count and
+// serializes every telemetry encoding: the metrics snapshot JSON, the
+// span JSONL, and the Chrome trace export. Telemetry rides the same
+// virtual-time determinism contract as the traces, so these bytes must
+// not depend on the worker count either.
+func telemetryArtifacts(t *testing.T, workers int) []byte {
+	t.Helper()
+	const spec = `{
+	  "faults": [
+	    {"type": "flaky-ost", "ost": 1, "start_sec": 1, "period_sec": 4, "stall_sec": 1},
+	    {"type": "background-bursts", "mbps": 8000, "on_sec": 2, "off_sec": 3}
+	  ]
+	}`
+	scenario, err := ensembleio.ParseScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	seeds := []int64{3, 5, 9}
+	runs := ensembleio.RunMany(workers, seeds, func(seed int64) *ensembleio.Run {
+		return ensembleio.RunIOR(ensembleio.IORConfig{
+			Machine: ensembleio.Franklin(), Tasks: 16, Reps: 2,
+			BlockBytes: 32e6, TransferBytes: 8e6,
+			Faults: scenario, Seed: seed, Telemetry: true,
+		})
+	})
+	var buf bytes.Buffer
+	for _, run := range runs {
+		if err := ensembleio.SaveTelemetry(&buf, run); err != nil {
+			t.Fatalf("SaveTelemetry: %v", err)
+		}
+		if err := ensembleio.SaveSpans(&buf, run); err != nil {
+			t.Fatalf("SaveSpans: %v", err)
+		}
+		if err := ensembleio.SaveChromeTrace(&buf, run); err != nil {
+			t.Fatalf("SaveChromeTrace: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetryDeterministicAcrossWorkerCounts pins the tentpole
+// telemetry invariant: metric snapshots, span streams, and the
+// Perfetto export are byte-identical whether the faulted ensemble ran
+// sequentially or fanned across four workers, and across repeats.
+func TestTelemetryDeterministicAcrossWorkerCounts(t *testing.T) {
+	sequential := telemetryArtifacts(t, 1)
+	if len(sequential) == 0 {
+		t.Fatal("telemetry runs produced no serialized artifacts; the check is vacuous")
+	}
+	repeat := telemetryArtifacts(t, 1)
+	if !bytes.Equal(sequential, repeat) {
+		t.Error("repeated -j 1 telemetry artifacts differ")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	parallel := telemetryArtifacts(t, 4)
+	if !bytes.Equal(sequential, parallel) {
+		i := 0
+		for i < len(sequential) && i < len(parallel) && sequential[i] == parallel[i] {
+			i++
+		}
+		t.Errorf("telemetry -j 1 vs -j 4: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(sequential), len(parallel), i)
+	}
+}
+
 // TestFaultScenariosDeterministicAcrossWorkerCounts extends the
 // determinism contract to fault injection: stall windows and burst
 // schedules are pure functions of virtual time and the brownout draws

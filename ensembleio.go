@@ -36,6 +36,7 @@ import (
 	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/runpool"
+	"ensembleio/internal/telemetry"
 	"ensembleio/internal/tracefmt"
 	"ensembleio/internal/workloads"
 )
@@ -402,6 +403,78 @@ func LoadTrace(r io.Reader) ([]Event, []PhaseMark, error) {
 // LoadTraceJSON reads a JSONL trace.
 func LoadTraceJSON(r io.Reader) ([]Event, []PhaseMark, error) {
 	return tracefmt.ReadJSONL(r)
+}
+
+// Telemetry: the deterministic virtual-time observability layer. Set
+// a workload config's Telemetry field to populate Run.Telemetry (the
+// metric snapshot) and Run.Spans (phases, fault windows, per-rank I/O
+// calls). Everything serialized here is a pure function of the run —
+// byte-identical across repeats and worker counts.
+type (
+	// TelemetrySnapshot is a run's counters/gauges/histograms.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Span is one virtual-time interval (category, name, rank).
+	Span = telemetry.Span
+)
+
+// SaveTelemetry writes a run's telemetry snapshot as indented JSON.
+func SaveTelemetry(w io.Writer, run *Run) error {
+	return tracefmt.WriteMetrics(w, run.Telemetry)
+}
+
+// LoadTelemetry reads and validates a telemetry snapshot.
+func LoadTelemetry(r io.Reader) (*TelemetrySnapshot, error) {
+	return tracefmt.ReadMetrics(r)
+}
+
+// SaveSpans writes a run's spans in the compact JSONL span format.
+func SaveSpans(w io.Writer, run *Run) error {
+	return tracefmt.WriteSpans(w, run.Spans)
+}
+
+// LoadSpans reads a span JSONL stream.
+func LoadSpans(r io.Reader) ([]Span, error) { return tracefmt.ReadSpans(r) }
+
+// SaveChromeTrace writes a run's spans as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func SaveChromeTrace(w io.Writer, run *Run) error {
+	return tracefmt.WriteChromeTrace(w, run.Spans)
+}
+
+// ValidateChromeTrace schema-checks a Chrome trace-event stream
+// against the subset SaveChromeTrace emits and returns the event
+// count (the trace-smoke CI check).
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	return tracefmt.ValidateChromeTrace(r)
+}
+
+// Progress receives sweep completion counts (done, total). It runs on
+// the wall-clock side of the house: reporting never perturbs the
+// simulated runs or their serialized artifacts.
+type Progress = runpool.Progress
+
+// StderrProgress returns a Progress rendering a single-line live
+// meter (count, percent, rate, ETA) to w, typically os.Stderr.
+func StderrProgress(w io.Writer, label string) Progress {
+	return runpool.StderrProgress(w, label)
+}
+
+// RunManyProgress is RunMany with live completion reporting (nil
+// progress disables it; results are unchanged either way).
+func RunManyProgress[C any](workers int, cfgs []C, progress Progress, run func(C) *Run) []*Run {
+	return runpool.MapProgress(workers, cfgs, progress, func(_ int, c C) *Run { return run(c) })
+}
+
+// IORTransferSweepProgress is IORTransferSweepJ with live completion
+// reporting.
+func IORTransferSweepProgress(base IORConfig, ks []int, seeds []int64, workers int, progress Progress) []TransferPoint {
+	return workloads.IORTransferSweepProgress(base, ks, seeds, workers, progress)
+}
+
+// IORWriterSweepProgress is IORWriterSweepJ with live completion
+// reporting.
+func IORWriterSweepProgress(prof Platform, counts []int, totalTransfers int, transferBytes int64, seeds []int64, workers int, progress Progress) []WriterPoint {
+	return workloads.IORWriterSweepProgress(prof, counts, totalTransfers, transferBytes, seeds, workers, progress)
 }
 
 // Profile is the persistent, distribution-only form of a profile-mode

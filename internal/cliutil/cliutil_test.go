@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, "ensembleio ") {
+		t.Fatalf("version %q lacks the module prefix", v)
+	}
+	if !strings.Contains(v, "go1") {
+		t.Fatalf("version %q lacks the toolchain", v)
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "prof")
+	stop, err := StartProfiles(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		st, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("%s missing: %v", suffix, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", suffix)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"ensembleio/internal/flownet"
 	"ensembleio/internal/sim"
+	"ensembleio/internal/telemetry"
 )
 
 // Profile describes a machine and its file-system behaviour constants.
@@ -265,8 +266,17 @@ type Cluster struct {
 	Nodes  []*Node
 	RNG    *sim.RNG
 
+	// Tel is the run's telemetry sink; nil when telemetry is disabled
+	// (every layer's handles then no-op). Set via Instrument so the
+	// lustre and mpi layers built on top of the cluster can pick it up
+	// at construction time.
+	Tel *telemetry.Sink
+
 	bgPort    *flownet.Port
 	bgStopped bool
+
+	telBursts  *telemetry.Counter
+	telBurstMB *telemetry.Counter
 }
 
 // New builds a cluster of nNodes nodes for the profile. The seed
@@ -297,6 +307,22 @@ func New(eng *sim.Engine, prof Profile, nNodes int, seed int64) *Cluster {
 	return c
 }
 
+// Instrument attaches a telemetry sink to the cluster and the fabric
+// beneath it. Call it right after New, before building lustre/mpi
+// layers on top — they cache their handles from Tel at construction.
+// A nil sink is fine (and is the disabled default).
+//
+// The first background burst is started by New itself, before any
+// Instrument call can run; burst telemetry therefore counts *completed*
+// bursts, recorded in the stream-done callbacks, which only fire during
+// the engine run — deterministically after instrumentation.
+func (c *Cluster) Instrument(tel *telemetry.Sink) {
+	c.Tel = tel
+	c.telBursts = tel.Counter("cluster.bg_bursts")
+	c.telBurstMB = tel.Counter("cluster.bg_burst_mb")
+	c.Fabric.Instrument(tel)
+}
+
 // scheduleBackground keeps a competing-job stream alive on the
 // background port: bursts of BackgroundBurstMB with exponentially
 // distributed think gaps. It reschedules itself until StopBackground.
@@ -307,6 +333,8 @@ func (c *Cluster) scheduleBackground() {
 	rng := c.RNG
 	burst := c.Prof.BackgroundBurstMB * rng.Lognormal(0, 0.5)
 	c.bgPort.Start(burst, flownet.StreamOpts{Done: func() {
+		c.telBursts.Inc()
+		c.telBurstMB.Add(burst)
 		if c.bgStopped {
 			return
 		}
@@ -355,6 +383,8 @@ func (c *Cluster) InjectBurstLoad(mbps, onSec, offSec, startSec float64) {
 		port.Start(mbps*onSec, flownet.StreamOpts{
 			RateCap: mbps,
 			Done: func() {
+				c.telBursts.Inc()
+				c.telBurstMB.Add(mbps * onSec)
 				if c.bgStopped {
 					return
 				}

@@ -1,0 +1,110 @@
+package faults
+
+import "fmt"
+
+// Window is one interval of virtual time during which a fault is
+// actively degrading service. Telemetry renders windows as "fault"
+// spans so a Perfetto timeline localizes exactly when (and on which
+// OST) the injected pathology was biting. OST is -1 for faults not
+// tied to a single OST.
+type Window struct {
+	Kind  string  // fault kind tag (KindSlowOST, ...)
+	Label string  // human-readable span name, e.g. "ost5-stall"
+	OST   int     // affected OST, or -1
+	T0    float64 // window start, virtual seconds
+	T1    float64 // window end, virtual seconds
+}
+
+// maxWindows bounds the number of periodic windows expanded per fault,
+// so a pathological period against a long run cannot explode the span
+// list. Later windows are simply dropped; the permanent-fault span
+// still covers the whole run.
+const maxWindows = 10_000
+
+// Windows expands the scenario's faults into their active windows over
+// [0, until]. It is a pure function of the fault parameters and the
+// horizon — no machine state — so the same scenario always yields the
+// same windows, and both telemetry span export and per-OST stall-time
+// accounting derive from this single source.
+//
+// Permanent faults (slow-ost, slow-node-link, mds-brownout) yield one
+// window spanning the whole run. Periodic faults (flaky-ost,
+// background-bursts) yield one window per active period, clipped to
+// the horizon.
+func (s *Scenario) Windows(until float64) []Window {
+	if s == nil || until <= 0 {
+		return nil
+	}
+	var out []Window
+	for _, f := range s.Faults {
+		switch f := f.(type) {
+		case *SlowOST:
+			out = append(out, Window{
+				Kind: KindSlowOST, Label: fmt.Sprintf("ost%d-slow", f.OST),
+				OST: f.OST, T0: 0, T1: until,
+			})
+		case *FlakyOST:
+			out = append(out, periodicWindows(
+				KindFlakyOST, fmt.Sprintf("ost%d-stall", f.OST), f.OST,
+				f.StartSec, f.PeriodSec, f.StallSec, until)...)
+		case *SlowNodeLink:
+			out = append(out, Window{
+				Kind: KindSlowNodeLink, Label: fmt.Sprintf("node%d-slow-link", f.Node),
+				OST: -1, T0: 0, T1: until,
+			})
+		case *MDSBrownout:
+			out = append(out, Window{
+				Kind: KindMDSBrownout, Label: "mds-brownout",
+				OST: -1, T0: 0, T1: until,
+			})
+		case *BackgroundBursts:
+			out = append(out, periodicWindows(
+				KindBackgroundBursts, "bg-burst", -1,
+				f.StartSec, f.OnSec+f.OffSec, f.OnSec, until)...)
+		}
+	}
+	return out
+}
+
+// periodicWindows expands [start + k*period, +span) windows clipped to
+// [0, until]. A zero-length clip at the horizon is dropped.
+func periodicWindows(kind, label string, ost int, start, period, span, until float64) []Window {
+	var out []Window
+	if period <= 0 || span <= 0 {
+		return nil
+	}
+	for t0 := start; t0 < until && len(out) < maxWindows; t0 += period {
+		t1 := t0 + span
+		if t1 > until {
+			t1 = until
+		}
+		if t1 <= t0 {
+			break
+		}
+		out = append(out, Window{Kind: kind, Label: label, OST: ost, T0: t0, T1: t1})
+	}
+	return out
+}
+
+// StallSeconds sums, per OST, the total windowed stall time over
+// [0, until] contributed by OST-periodic faults (flaky-ost). Permanent
+// slow-ost degradation is not a "stall" — it is reported through the
+// per-OST rate statistics instead.
+func (s *Scenario) StallSeconds(until float64, nOSTs int) []float64 {
+	ws := s.Windows(until)
+	if len(ws) == 0 || nOSTs <= 0 {
+		return nil
+	}
+	sums := make([]float64, nOSTs)
+	any := false
+	for _, w := range ws {
+		if w.Kind == KindFlakyOST && w.OST >= 0 && w.OST < nOSTs {
+			sums[w.OST] += w.T1 - w.T0
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return sums
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"ensembleio/internal/sim"
+	"ensembleio/internal/telemetry"
 )
 
 // Config parametrizes a Fabric.
@@ -49,6 +50,12 @@ type Fabric struct {
 	lastMove sim.Time
 	pokeSet  bool
 	gen      uint64 // invalidates scheduled refreshes
+
+	// Telemetry handles cached by Instrument; nil handles no-op, so the
+	// hot loops below pay a nil check and nothing else when disabled.
+	telRefreshes  *telemetry.Counter
+	telRecomputes *telemetry.Counter
+	telMaxStreams *telemetry.Gauge
 }
 
 // exactThreshold is the active-stream population up to which exact
@@ -69,6 +76,14 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 
 // AggregateMBps returns the configured aggregate capacity.
 func (f *Fabric) AggregateMBps() float64 { return f.cap }
+
+// Instrument attaches a telemetry sink (nil = disabled) and caches the
+// fabric's metric handles.
+func (f *Fabric) Instrument(tel *telemetry.Sink) {
+	f.telRefreshes = tel.Counter("flownet.refreshes")
+	f.telRecomputes = tel.Counter("flownet.recomputes")
+	f.telMaxStreams = tel.Gauge("flownet.active_streams")
+}
 
 // Port is one client of the fabric (typically a compute node). Its
 // active streams share the port's allocation.
@@ -173,6 +188,7 @@ func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
 		p.fab.actPorts = append(p.fab.actPorts, p)
 	}
 	p.fab.active++
+	p.fab.telMaxStreams.Set(float64(p.fab.active))
 	p.fab.poke()
 	return s
 }
@@ -212,6 +228,7 @@ func (f *Fabric) poke() {
 // recomputes rates, and schedules the next wake-up (exact completion
 // time for small populations, quantum tick for large ones).
 func (f *Fabric) refresh() {
+	f.telRefreshes.Inc()
 	now := f.eng.Now()
 	f.advance(f.lastMove, now)
 	f.lastMove = now
@@ -303,6 +320,7 @@ func (f *Fabric) advance(t0, t1 sim.Time) {
 // every port whose maximum useful rate falls below its weighted share
 // is frozen there; the remainder is split by weight.
 func (f *Fabric) recompute() {
+	f.telRecomputes.Inc()
 	totalW := 0.0
 	for _, p := range f.actPorts {
 		max := p.cap

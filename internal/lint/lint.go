@@ -17,6 +17,9 @@
 //     the statistics packages (exact-zero sentinel tests excepted).
 //   - errclose: errors from Close/Flush/Write must not be silently
 //     dropped in the persistence layer and the CLIs.
+//   - telwall: telemetry and trace-format packages must not read the
+//     wall clock or the global math/rand; telemetry carries virtual
+//     time only.
 //
 // The API mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic) so the analyzers could be ported to a standard
@@ -88,7 +91,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full project suite in a deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimPurity, MapOrder, FloatEq, ErrClose}
+	return []*Analyzer{SimPurity, MapOrder, FloatEq, ErrClose, TelWall}
 }
 
 // Run applies each applicable analyzer to each package and returns

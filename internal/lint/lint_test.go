@@ -26,6 +26,10 @@ func TestErrClose(t *testing.T) {
 // determinism rules bind the simulator, the statistics rules bind the
 // ensemble/analysis/report layers, and the persistence rules bind
 // tracefmt and the CLIs.
+func TestTelWall(t *testing.T) {
+	RunAnalyzerTest(t, TelWall, "./testdata/src/telwall")
+}
+
 func TestMatchScopes(t *testing.T) {
 	cases := []struct {
 		analyzer *Analyzer
@@ -42,6 +46,10 @@ func TestMatchScopes(t *testing.T) {
 		{ErrClose, "ensembleio/internal/tracefmt", true},
 		{ErrClose, "ensembleio/cmd/tracestat", true},
 		{ErrClose, "ensembleio/internal/report", false},
+		{TelWall, "ensembleio/internal/telemetry", true},
+		{TelWall, "ensembleio/internal/tracefmt", true},
+		{TelWall, "ensembleio/internal/runpool", false}, // wall-clock progress meters are legal there
+		{TelWall, "ensembleio/internal/cliutil", false},
 	}
 	for _, c := range cases {
 		got := c.analyzer.Match == nil || c.analyzer.Match(c.path)

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelWall enforces the telemetry layer's virtual-time contract: every
+// metric and span that internal/telemetry collects and
+// internal/tracefmt serializes is stamped with simulated time, and the
+// exported artifacts are byte-identical across repeats and worker
+// counts. One wall-clock read — a time.Now() in a span, a timestamp
+// in a snapshot — quietly breaks that for every downstream diff-based
+// test. Wall-clock self-observability (progress meters, -prof) lives
+// in internal/runpool and internal/cliutil, outside this analyzer's
+// scope, which is exactly the point: the type system can't separate
+// "time of the simulated system" from "time of the host run", so the
+// package boundary does.
+var TelWall = &Analyzer{
+	Name: "telwall",
+	Doc: `forbid wall-clock time reads and global math/rand in the telemetry
+and trace-format packages; telemetry is stamped with virtual time
+(sim.Time) only, so serialized metrics and traces stay byte-identical
+across repeats and -j; host-side observability belongs in
+internal/runpool or internal/cliutil`,
+	Match: prefixMatcher(
+		"ensembleio/internal/telemetry",
+		"ensembleio/internal/tracefmt",
+	),
+	Run: runTelWall,
+}
+
+func runTelWall(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(), "wall-clock time.%s in telemetry code; telemetry carries virtual time only — serialized artifacts must be byte-identical across repeats (host-side reporting belongs in internal/runpool or internal/cliutil)", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
+					return true
+				}
+				if !seededRandCtors[name] {
+					pass.Reportf(sel.Pos(), "global math/rand %s in telemetry code; anything that varies run-to-run poisons the byte-determinism of exported metrics and traces", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Package telwall is golden testdata: wall-clock and global-rand
+// reads that would poison telemetry determinism, and their legal
+// counterparts.
+package telwall
+
+import (
+	"math/rand"
+	"time"
+)
+
+type span struct {
+	start, end float64
+}
+
+func flagged() {
+	// Stamping a span or snapshot with host time is the canonical bug
+	// this analyzer exists for.
+	_ = span{start: float64(time.Now().UnixNano())} // want `wall-clock time.Now`
+	_ = time.Since(time.Time{})                     // want `wall-clock time.Since`
+	time.Sleep(time.Millisecond)                    // want `wall-clock time.Sleep`
+	_ = rand.Float64()                              // want `global math/rand Float64`
+	rand.Shuffle(0, func(i, j int) {})              // want `global math/rand Shuffle`
+}
+
+func allowed() {
+	// Pure time values never read the clock.
+	const flushEvery = 2 * time.Second
+	_ = flushEvery
+	// Seeded generators are deterministic (tests shuffling inputs).
+	r := rand.New(rand.NewSource(7))
+	_ = r.Int()
+	// Type references are not draws from the global source.
+	var src rand.Source = rand.NewSource(1)
+	_ = src
+	// Justified escape hatch.
+	//lint:allow telwall debug-only latency probe, stripped from output
+	_ = time.Now()
+}

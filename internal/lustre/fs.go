@@ -6,6 +6,7 @@ import (
 
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/sim"
+	"ensembleio/internal/telemetry"
 )
 
 // FS is one mounted parallel file system instance on a cluster. It
@@ -48,6 +49,12 @@ type FS struct {
 	ostMul    []float64
 	ostStalls []ostStall
 	mdsDeg    *mdsDegrade
+
+	// Telemetry handles, cached from the cluster's sink at mount (nil
+	// handles no-op). Only the two hot-path signals are recorded live;
+	// bulk per-OST accounting is folded from Stats when a run finishes.
+	telStreamS   *telemetry.Hist
+	telPathology *telemetry.Counter
 }
 
 // ostStall is one periodic stall window on one OST: from startSec on,
@@ -70,9 +77,11 @@ type mdsDegrade struct {
 // NewFS mounts a file system on the cluster with one client per node.
 func NewFS(cl *cluster.Cluster) *FS {
 	fs := &FS{
-		Cl:    cl,
-		files: make(map[string]*File),
-		rng:   cl.RNG.Fork(0x10f5),
+		Cl:           cl,
+		files:        make(map[string]*File),
+		rng:          cl.RNG.Fork(0x10f5),
+		telStreamS:   cl.Tel.Hist("lustre.stream_service_s"),
+		telPathology: cl.Tel.Counter("lustre.readahead_pathologies"),
 	}
 	conc := cl.Prof.MDSConcurrency
 	if conc <= 0 {
@@ -174,6 +183,7 @@ func (fs *FS) noteOSTService(f *File, offset, length int64, demandMB float64, du
 	if len(fs.stats.PerOST) == 0 || dur <= 0 {
 		return
 	}
+	fs.telStreamS.Observe(float64(dur))
 	f.Layout.ForEachOST(offset, length, len(fs.stats.PerOST), func(ost int, frac float64) {
 		st := &fs.stats.PerOST[ost]
 		st.Streams++

@@ -14,6 +14,7 @@ import (
 
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/sim"
+	"ensembleio/internal/telemetry"
 )
 
 // Config sets the communication cost model.
@@ -33,6 +34,11 @@ type World struct {
 
 	ranks []*Rank
 	world *Comm
+
+	// Telemetry handles, cached from the cluster's sink at construction
+	// (nil handles no-op when telemetry is disabled).
+	telBarriers    *telemetry.Counter
+	telBarrierWait *telemetry.Hist
 }
 
 // Rank is one MPI task: a simulated process bound to a node.
@@ -65,6 +71,8 @@ func NewWorld(eng *sim.Engine, cl *cluster.Cluster, size int, cfg Config) *World
 		cfg.LinkMBps = 1600
 	}
 	w := &World{Eng: eng, Cl: cl, cfg: cfg, size: size}
+	w.telBarriers = cl.Tel.Counter("mpi.barriers")
+	w.telBarrierWait = cl.Tel.Hist("mpi.barrier_wait_s")
 	for i := 0; i < size; i++ {
 		w.ranks = append(w.ranks, &Rank{
 			ID:      i,
@@ -173,6 +181,7 @@ func (c *Comm) CommRank(r *Rank) int {
 // a log2(n) latency tree.
 func (c *Comm) Barrier(r *Rank) {
 	c.CommRank(r) // membership check
+	t0 := r.P.Now()
 	gen := c.barGen
 	c.barCount++
 	if c.barCount < len(c.ranks) {
@@ -183,8 +192,13 @@ func (c *Comm) Barrier(r *Rank) {
 		c.barCount = 0
 		c.barGen++
 		c.barQ.WakeAll()
+		// One count per completed barrier, charged to the last arriver.
+		c.w.telBarriers.Inc()
 	}
 	r.P.Sleep(c.treeLatency())
+	// Each rank's wait: arrival to release, the load-imbalance cost the
+	// paper's phase analysis attributes to synchronization.
+	c.w.telBarrierWait.Observe(float64(r.P.Now() - t0))
 }
 
 func (c *Comm) treeLatency() sim.Duration {

@@ -61,6 +61,12 @@ func fmtRange(lo, hi float64) string {
 
 func fmtNum(v float64) string {
 	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
 	case v == 0:
 		return "0"
 	case math.Abs(v) >= 100:
@@ -78,6 +84,9 @@ func Series(w io.Writer, title string, t0 float64, dt float64, values []float64,
 	if len(values) == 0 {
 		fmt.Fprintln(w, "  (empty)")
 		return
+	}
+	if cols < 1 {
+		cols = 1
 	}
 	// Downsample to cols columns by averaging.
 	per := (len(values) + cols - 1) / cols
@@ -182,8 +191,16 @@ func CSV(w io.Writer, rows [][]string) error {
 	return nil
 }
 
-// F formats a float compactly for table cells.
-func F(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+// F formats a float compactly for table cells. Non-finite values
+// render as NaN/Inf/-Inf rather than strconv's default spelling, so a
+// poisoned statistic is unmistakable in a report instead of blending
+// into a numeric column.
+func F(v float64, prec int) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmtNum(v)
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
 
 // ModeTable summarizes detected modes as table rows.
 func ModeTable(modes []ensemble.Mode, unit string) [][]string {

@@ -1,6 +1,8 @@
 package report
 
 import (
+	encsv "encoding/csv"
+	"math"
 	"strings"
 	"testing"
 
@@ -70,6 +72,25 @@ func TestLogHistogramUsesLogBars(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleBin(t *testing.T) {
+	h := ensemble.NewHistogram(ensemble.LinearBins(0, 10, 1))
+	h.Add(3)
+	h.Add(7)
+	var b strings.Builder
+	Histogram(&b, "one bin", h)
+	out := b.String()
+	if !strings.Contains(out, "n=2") {
+		t.Errorf("missing count: %q", out)
+	}
+	if !strings.Contains(out, "0-10") {
+		t.Errorf("missing bin range: %q", out)
+	}
+	// The lone bin holds everything, so its bar fills the full width.
+	if !strings.Contains(out, strings.Repeat("#", 50)) {
+		t.Errorf("single bin bar not full-width: %q", out)
+	}
+}
+
 func TestSeriesRendering(t *testing.T) {
 	vals := make([]float64, 100)
 	for i := range vals {
@@ -98,6 +119,17 @@ func TestSeriesEmpty(t *testing.T) {
 	Series(&b, "t", 0, 1, nil, 10)
 	if !strings.Contains(b.String(), "(empty)") {
 		t.Error("empty series not flagged")
+	}
+}
+
+func TestSeriesZeroCols(t *testing.T) {
+	// cols < 1 must not divide by zero; it clamps to one column.
+	for _, cols := range []int{0, -3} {
+		var b strings.Builder
+		Series(&b, "clamped", 0, 1, []float64{1, 2, 3}, cols)
+		if !strings.Contains(b.String(), "clamped") {
+			t.Errorf("cols=%d: missing output", cols)
+		}
 	}
 }
 
@@ -134,6 +166,54 @@ func TestCSVEscaping(t *testing.T) {
 	want := "plain,\"with,comma\",\"with\"\"quote\"\n"
 	if b.String() != want {
 		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	// Everything CSV writes must come back unchanged through the
+	// standard library's reader: the "RFC-4180-lite" quoting is the
+	// real thing for commas, quotes, and embedded newlines.
+	rows := [][]string{
+		{"name", "value", "note"},
+		{"plain", "1", "nothing special"},
+		{"with,comma", "2", `say "hi"`},
+		{"multi\nline", "3", `",",""` + "\n"},
+		{"", "4", " leading and trailing "},
+	}
+	var b strings.Builder
+	if err := CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := encsv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("stdlib reader rejected our CSV: %v\n%q", err, b.String())
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("%d rows back, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Errorf("row %d col %d: %q round-tripped to %q", i, j, rows[i][j], got[i][j])
+			}
+		}
+	}
+}
+
+func TestFNonFinite(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():   "NaN",
+		math.Inf(1):  "Inf",
+		math.Inf(-1): "-Inf",
+	}
+	for v, want := range cases {
+		if got := F(v, 2); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// fmtNum feeds ranges and axis labels; same guards apply.
+	if got := fmtRange(math.NaN(), math.Inf(1)); got != "NaN-Inf" {
+		t.Errorf("fmtRange = %q", got)
 	}
 }
 

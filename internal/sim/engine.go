@@ -105,6 +105,12 @@ type Engine struct {
 	ack     chan struct{}
 	running bool
 	procs   int // live (spawned, not finished) processes
+
+	// Scheduling statistics, kept unconditionally: one integer update
+	// per push/pop, cheap enough that there is nothing to disable.
+	// Telemetry folds them into the run snapshot via the accessors.
+	popped  uint64
+	maxHeap int
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -123,6 +129,9 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.events.push(event{t: t, seq: e.seq, fn: fn})
+	if n := e.events.len(); n > e.maxHeap {
+		e.maxHeap = n
+	}
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -147,6 +156,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 			return e.now
 		}
 		ev := e.events.pop()
+		e.popped++
 		e.now = ev.t
 		ev.fn()
 	}
@@ -158,3 +168,12 @@ func (e *Engine) RunUntil(limit Time) Time {
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return e.events.len() }
+
+// EventsPopped reports how many events the engine has executed.
+func (e *Engine) EventsPopped() uint64 { return e.popped }
+
+// EventsScheduled reports how many events have ever been scheduled.
+func (e *Engine) EventsScheduled() uint64 { return e.seq }
+
+// HeapHighWater reports the maximum event-queue length observed.
+func (e *Engine) HeapHighWater() int { return e.maxHeap }

@@ -1,0 +1,123 @@
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ensembleio/internal/telemetry"
+)
+
+// ---- Chrome trace-event export ----
+//
+// Spans render as Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Virtual time maps onto the
+// format's microsecond timeline: a span over [Start, End) seconds of
+// simulated time becomes a complete ("X") event at ts = Start*1e6.
+//
+// Track layout: run-scoped spans (Rank < 0 — workload phases, fault
+// windows) land on pid 0 "run", one thread per category; per-rank
+// spans land on pid 1 "ranks" with tid = rank, so Perfetto shows one
+// lane per rank under a single process group.
+
+// chromeEvent is one entry of the traceEvents array. Only the "X"
+// (complete) and "M" (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+const (
+	chromePIDRun   = 0
+	chromePIDRanks = 1
+)
+
+// runCats fixes the thread-lane order for run-scoped span categories
+// on the "run" process; unknown categories share a catch-all lane
+// after them. A slice, not a map, so export order is deterministic.
+var runCats = []string{"phase", "fault"}
+
+func runTID(cat string) int {
+	for i, c := range runCats {
+		if c == cat {
+			return i
+		}
+	}
+	return len(runCats)
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON object.
+func WriteChromeTrace(w io.Writer, spans []telemetry.Span) error {
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	meta := func(name string, pid, tid int, args map[string]string) {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: name, Ph: "M", PID: pid, TID: tid, Args: args,
+		})
+	}
+	meta("process_name", chromePIDRun, 0, map[string]string{"name": "run"})
+	meta("process_name", chromePIDRanks, 0, map[string]string{"name": "ranks"})
+	for tid, cat := range runCats {
+		meta("thread_name", chromePIDRun, tid, map[string]string{"name": cat})
+	}
+	for _, sp := range spans {
+		if err := validateSpan(sp); err != nil {
+			return err
+		}
+		ev := chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			TS: sp.Start * 1e6, Dur: (sp.End - sp.Start) * 1e6,
+		}
+		if sp.Rank < 0 {
+			ev.PID = chromePIDRun
+			ev.TID = runTID(sp.Cat)
+		} else {
+			ev.PID = chromePIDRanks
+			ev.TID = sp.Rank
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tr); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateChromeTrace parses a Chrome trace-event JSON stream and
+// checks it against the subset of the format WriteChromeTrace emits:
+// every event has a name, phase "X" or "M", and finite non-negative
+// ts/dur. Returns the number of events validated. This is the schema
+// check the Makefile trace-smoke target runs over exporter output.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	var tr chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return 0, fmt.Errorf("tracefmt: bad chrome trace: %w", err)
+	}
+	for i, ev := range tr.TraceEvents {
+		if ev.Name == "" || len(ev.Name) > maxStringLen {
+			return 0, fmt.Errorf("tracefmt: chrome event %d has bad name", i)
+		}
+		if ev.Ph != "X" && ev.Ph != "M" {
+			return 0, fmt.Errorf("tracefmt: chrome event %d has unsupported phase %q", i, ev.Ph)
+		}
+		if !finite(ev.TS) || ev.TS < 0 || !finite(ev.Dur) || ev.Dur < 0 {
+			return 0, fmt.Errorf("tracefmt: chrome event %d has bad ts/dur (%v, %v)", i, ev.TS, ev.Dur)
+		}
+	}
+	return len(tr.TraceEvents), nil
+}

@@ -37,6 +37,9 @@ type CheckpointConfig struct {
 	Seed int64
 	Mode ipmio.Mode
 	Path string
+	// Telemetry enables the run's deterministic metric/span sink
+	// (Run.Telemetry, Run.Spans).
+	Telemetry bool
 }
 
 func (c *CheckpointConfig) defaults() {
@@ -93,7 +96,7 @@ func RunCheckpoint(cfg CheckpointConfig) *CheckpointResult {
 	}
 	k := int(cfg.StateBytes / cfg.TransferBytes)
 
-	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode, cfg.Telemetry)
 	rng := sim.NewRNG(cfg.Seed ^ 0xc4e9)
 	imbalance := make([]float64, cfg.Tasks)
 	for i := range imbalance {

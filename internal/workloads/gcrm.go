@@ -57,6 +57,9 @@ type GCRMConfig struct {
 	Seed   int64
 	Mode   ipmio.Mode
 	Path   string
+	// Telemetry enables the run's deterministic metric/span sink
+	// (Run.Telemetry, Run.Spans).
+	Telemetry bool
 }
 
 func (c *GCRMConfig) defaults() {
@@ -115,7 +118,7 @@ func RunGCRM(cfg GCRMConfig) *Run {
 		align = 1e6
 	}
 
-	j := newJob(cfg.Machine, ranks, cfg.Seed, cfg.Mode)
+	j := newJob(cfg.Machine, ranks, cfg.Seed, cfg.Mode, cfg.Telemetry)
 	j.applyFaults(cfg.Faults)
 
 	// In two-stage mode, writer w is world rank w*perWriter (spreading

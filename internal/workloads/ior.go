@@ -44,6 +44,9 @@ type IORConfig struct {
 	Mode ipmio.Mode
 	// Path of the shared file.
 	Path string
+	// Telemetry enables the run's deterministic metric/span sink
+	// (Run.Telemetry, Run.Spans).
+	Telemetry bool
 }
 
 func (c *IORConfig) defaults() {
@@ -79,7 +82,7 @@ func RunIOR(cfg IORConfig) *Run {
 	if cfg.ReadBack {
 		flags = posixio.OCreat | posixio.ORdwr
 	}
-	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode, cfg.Telemetry)
 	j.fs.DefaultStripeCount = cfg.StripeCount
 	j.applyFaults(cfg.Faults)
 	j.launch(func(r *mpiRank, tr *tracer) {

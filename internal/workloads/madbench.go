@@ -38,6 +38,9 @@ type MADbenchConfig struct {
 	Seed   int64
 	Mode   ipmio.Mode
 	Path   string
+	// Telemetry enables the run's deterministic metric/span sink
+	// (Run.Telemetry, Run.Spans).
+	Telemetry bool
 	// Instrument, when set, receives the mounted file system before
 	// launch (diagnostic hooks, e.g. lustre.FS.OnPathology).
 	Instrument func(fs *lustre.FS)
@@ -77,7 +80,7 @@ func RunMADbench(cfg MADbenchConfig) *Run {
 	cfg.defaults()
 	stride := cfg.Stride()
 
-	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode)
+	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode, cfg.Telemetry)
 	j.applyFaults(cfg.Faults)
 	if cfg.Instrument != nil {
 		cfg.Instrument(j.fs)

@@ -38,6 +38,14 @@ func IORTransferSweep(base IORConfig, ks []int, seeds []int64) []TransferPoint {
 // IORTransferSweepJ is IORTransferSweep on at most workers OS workers
 // (workers <= 0 means all cores, 1 means sequential).
 func IORTransferSweepJ(base IORConfig, ks []int, seeds []int64, workers int) []TransferPoint {
+	return IORTransferSweepProgress(base, ks, seeds, workers, nil)
+}
+
+// IORTransferSweepProgress is IORTransferSweepJ with live completion
+// reporting (see runpool.Progress; nil disables). Progress observes
+// only run *counts*, so the sweep's results and serialized artifacts
+// stay byte-identical with or without it.
+func IORTransferSweepProgress(base IORConfig, ks []int, seeds []int64, workers int, progress runpool.Progress) []TransferPoint {
 	base.defaults()
 	type job struct {
 		k    int
@@ -49,7 +57,7 @@ func IORTransferSweepJ(base IORConfig, ks []int, seeds []int64, workers int) []T
 			jobs = append(jobs, job{k, seed})
 		}
 	}
-	runs := runpool.Map(workers, jobs, func(_ int, j job) *Run {
+	runs := runpool.MapProgress(workers, jobs, progress, func(_ int, j job) *Run {
 		cfg := base
 		cfg.TransferBytes = base.BlockBytes / int64(j.k)
 		cfg.Seed = j.seed
@@ -100,6 +108,12 @@ func IORWriterSweep(prof cluster.Profile, counts []int, totalTransfers int, tran
 // IORWriterSweepJ is IORWriterSweep on at most workers OS workers
 // (workers <= 0 means all cores, 1 means sequential).
 func IORWriterSweepJ(prof cluster.Profile, counts []int, totalTransfers int, transferBytes int64, seeds []int64, workers int) []WriterPoint {
+	return IORWriterSweepProgress(prof, counts, totalTransfers, transferBytes, seeds, workers, nil)
+}
+
+// IORWriterSweepProgress is IORWriterSweepJ with live completion
+// reporting (see runpool.Progress; nil disables).
+func IORWriterSweepProgress(prof cluster.Profile, counts []int, totalTransfers int, transferBytes int64, seeds []int64, workers int, progress runpool.Progress) []WriterPoint {
 	type job struct {
 		writers int
 		seed    int64
@@ -110,7 +124,7 @@ func IORWriterSweepJ(prof cluster.Profile, counts []int, totalTransfers int, tra
 			jobs = append(jobs, job{n, seed})
 		}
 	}
-	runs := runpool.Map(workers, jobs, func(_ int, j job) *Run {
+	runs := runpool.MapProgress(workers, jobs, progress, func(_ int, j job) *Run {
 		per := (totalTransfers + j.writers - 1) / j.writers
 		return RunIOR(IORConfig{
 			Machine:       prof,

@@ -7,6 +7,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
@@ -14,6 +16,7 @@ import (
 	"ensembleio/internal/mpi"
 	"ensembleio/internal/posixio"
 	"ensembleio/internal/sim"
+	"ensembleio/internal/telemetry"
 )
 
 // Type aliases keep the per-workload files terse.
@@ -41,6 +44,14 @@ type Run struct {
 	// CoresPerNode records the machine's rank-to-node block factor so
 	// analysis can map ranks to nodes without the profile in hand.
 	CoresPerNode int
+	// Telemetry is the run's deterministic metric snapshot — engine,
+	// fabric, lustre, and MPI counters over virtual time. Nil unless
+	// the workload config set Telemetry: true.
+	Telemetry *telemetry.Snapshot
+	// Spans are the run's virtual-time spans: workload phases, fault
+	// windows, and (in trace mode) per-rank I/O calls. Nil unless
+	// telemetry was enabled.
+	Spans []telemetry.Span
 }
 
 // AggregateMBps is the job-level rate the paper reports: total data
@@ -61,15 +72,26 @@ type job struct {
 	sys *posixio.System
 	w   *mpi.World
 	col *ipmio.Collector
+	tel *telemetry.Sink
+
+	scenario *faults.Scenario
 
 	finished int
 	wall     sim.Time
 }
 
-func newJob(prof cluster.Profile, tasks int, seed int64, mode ipmio.Mode) *job {
+func newJob(prof cluster.Profile, tasks int, seed int64, mode ipmio.Mode, withTel bool) *job {
 	eng := sim.NewEngine()
 	nodes := (tasks + prof.CoresPerNode - 1) / prof.CoresPerNode
 	cl := cluster.New(eng, prof, nodes, seed)
+	var tel *telemetry.Sink
+	if withTel {
+		tel = telemetry.New()
+	}
+	// Instrument before mounting lustre and building the MPI world:
+	// both cache their metric handles from cl.Tel at construction. A
+	// nil sink hands out nil handles, which no-op.
+	cl.Instrument(tel)
 	fs := lustre.NewFS(cl)
 	return &job{
 		eng: eng,
@@ -78,11 +100,13 @@ func newJob(prof cluster.Profile, tasks int, seed int64, mode ipmio.Mode) *job {
 		sys: posixio.NewSystem(fs),
 		w:   mpi.NewWorld(eng, cl, tasks, mpi.Config{}),
 		col: ipmio.NewCollector(mode),
+		tel: tel,
 	}
 }
 
 // applyFaults installs a degradation scenario (if any) on the freshly
-// built machine and mounted file system, before launch.
+// built machine and mounted file system, before launch. The scenario
+// is retained so telemetry can derive its fault windows at finish.
 func (j *job) applyFaults(s *faults.Scenario) {
 	if s == nil {
 		return
@@ -90,13 +114,94 @@ func (j *job) applyFaults(s *faults.Scenario) {
 	if err := s.Apply(j.cl, j.fs); err != nil {
 		panic(err)
 	}
+	j.scenario = s
 }
 
 // finish snapshots the per-run server-side state into the artifact.
 func (j *job) finish(r *Run) *Run {
 	r.FSStats = j.fs.Stats()
 	r.CoresPerNode = j.cl.Prof.CoresPerNode
+	j.foldTelemetry(r)
 	return r
+}
+
+// foldTelemetry turns the sink plus end-of-run state into the run's
+// serialized telemetry: engine and lustre counters are folded in bulk
+// here (zero hot-path cost), and the span list is assembled in a fixed
+// order — workload phases, fault windows, then per-rank I/O calls —
+// every piece a pure function of the simulated run.
+func (j *job) foldTelemetry(r *Run) {
+	tel := j.tel
+	if !tel.Enabled() {
+		return
+	}
+	wall := float64(j.wall)
+
+	tel.Counter("sim.events_popped").Add(float64(j.eng.EventsPopped()))
+	tel.Counter("sim.events_scheduled").Add(float64(j.eng.EventsScheduled()))
+	tel.Gauge("sim.heap_high_water").Set(float64(j.eng.HeapHighWater()))
+
+	st := &r.FSStats
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"lustre.write_jobs", float64(st.WriteJobs)},
+		{"lustre.write_mb", st.WriteMB},
+		{"lustre.read_calls", float64(st.ReadCalls)},
+		{"lustre.read_mb", st.ReadMB},
+		{"lustre.absorbed_mb", st.AbsorbedMB},
+		{"lustre.drain_chunks", float64(st.DrainChunks)},
+		{"lustre.conflicts", float64(st.Conflicts)},
+		{"lustre.luck_capped", float64(st.LuckCapped)},
+		{"lustre.mds_ops", float64(st.MDSOps)},
+		{"lustre.mds_slow_ops", float64(st.MDSSlowOps)},
+		{"lustre.small_writes", float64(st.SmallWrites)},
+	} {
+		if c.v != 0 {
+			tel.Counter(c.name).Add(c.v)
+		}
+	}
+
+	// Per-OST accounting, including injected stall exposure derived
+	// from the fault scenario's windows (nil scenario -> no stalls).
+	stalls := j.scenario.StallSeconds(wall, len(st.PerOST))
+	for i := range st.PerOST {
+		o := &st.PerOST[i]
+		stall := 0.0
+		if stalls != nil {
+			stall = stalls[i]
+		}
+		if o.Streams == 0 && stall == 0 {
+			continue
+		}
+		prefix := fmt.Sprintf("lustre.ost%03d.", i)
+		tel.Counter(prefix + "streams").Add(float64(o.Streams))
+		tel.Counter(prefix + "mb").Add(o.MB)
+		tel.Counter(prefix + "seconds").Add(o.Seconds)
+		if stall > 0 {
+			tel.Counter(prefix + "stall_s").Add(stall)
+		}
+	}
+
+	marks := j.col.Marks
+	for i, m := range marks {
+		end := wall
+		if i+1 < len(marks) {
+			end = float64(marks[i+1].T)
+		}
+		tel.Span("phase", m.Name, -1, float64(m.T), end)
+	}
+	for _, w := range j.scenario.Windows(wall) {
+		tel.Span("fault", w.Label, -1, w.T0, w.T1)
+	}
+	for i := range j.col.Events {
+		e := &j.col.Events[i]
+		tel.Span("io", e.Op.String(), e.Rank, float64(e.Start), float64(e.Start+e.Dur))
+	}
+
+	r.Telemetry = tel.Snapshot()
+	r.Spans = tel.Spans()
 }
 
 // launch runs body on every rank, tracking the makespan and stopping
