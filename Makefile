@@ -63,11 +63,14 @@ trace-smoke:
 
 # bench-guard: the telemetry-off hot path must stay within noise of
 # the checked-in baseline. Three repetitions of the focused benchmarks,
-# best-of compared against the baseline's best with generous slack —
-# this catches "the disabled path got hot", not scheduler jitter.
+# best-of compared against the baseline's best — generous time slack
+# (this catches "the disabled path got hot", not scheduler jitter) and
+# a tight memory slack (allocs/op is nearly deterministic, so eroding
+# allocation wins trip the guard long before they show up as time).
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkSimulatorThroughputSingle$$' \
-		-benchtime 1x -count 3 . | $(GO) run ./cmd/benchjson -check BENCH_ensembleio.json -slack 3.0
+		-benchmem -benchtime 1x -count 3 . | \
+		$(GO) run ./cmd/benchjson -check BENCH_ensembleio.json -slack 3.0 -memslack 1.25
 
 # One target per invocation: go test allows a single -fuzz pattern
 # match per run.

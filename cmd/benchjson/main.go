@@ -11,9 +11,12 @@
 //
 // -check compares the run on stdin against a checked-in baseline
 // instead of emitting JSON: for every benchmark present in both, the
-// best (minimum) ns/op of the new run must be within slack times the
-// baseline's best. Exit status 1 on regression — the CI guard that the
-// disabled-telemetry path stays within noise of the baseline.
+// best (minimum) ns/op of the new run must be within -slack times the
+// baseline's best, and the best allocs/op and B/op within -memslack
+// times theirs (memory metrics are skipped when either side was run
+// without -benchmem). Exit status 1 on regression — the CI guard that
+// the hot paths stay within noise of the baseline and that allocation
+// wins can't silently erode.
 package main
 
 import (
@@ -50,9 +53,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		check   = flag.String("check", "", "compare stdin against this baseline JSON instead of emitting JSON")
-		slack   = flag.Float64("slack", 2.0, "with -check, allowed ns/op ratio over the baseline best")
-		version = flag.Bool("version", false, "print build version and exit")
+		check    = flag.String("check", "", "compare stdin against this baseline JSON instead of emitting JSON")
+		slack    = flag.Float64("slack", 2.0, "with -check, allowed ns/op ratio over the baseline best")
+		memSlack = flag.Float64("memslack", 1.25, "with -check, allowed allocs/op and B/op ratio over the baseline best")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -109,7 +113,7 @@ func main() {
 	}
 
 	if *check != "" {
-		if err := checkAgainst(out, *check, *slack); err != nil {
+		if err := checkAgainst(out, *check, *slack, *memSlack); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -129,13 +133,10 @@ func main() {
 // carry a different suffix for the same benchmark.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// checkAgainst compares the parsed run against the baseline file: for
-// every benchmark present in both, the new best ns/op must not exceed
-// slack times the baseline best. Comparing minima (benchstat's summary
-// of repetitions) filters scheduler noise; the generous default slack
-// means only gross regressions — an accidentally-hot disabled path —
-// trip the guard.
-func checkAgainst(run baseline, path string, slack float64) error {
+// checkAgainst compares the parsed run against the baseline file and
+// prints the per-benchmark report. Exit is via the returned error: nil
+// means every overlapping benchmark passed every gated metric.
+func checkAgainst(run baseline, path string, slack, memSlack float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -144,36 +145,9 @@ func checkAgainst(run baseline, path string, slack float64) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	baseBest := map[string]float64{}
-	for name, metrics := range base.Benchmarks {
-		if v, ok := best(metrics["ns/op"]); ok {
-			baseBest[gomaxprocsSuffix.ReplaceAllString(name, "")] = v
-		}
-	}
-	names := make([]string, 0, len(run.Benchmarks))
-	for name := range run.Benchmarks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	compared := 0
-	var failures []string
-	for _, name := range names {
-		short := gomaxprocsSuffix.ReplaceAllString(name, "")
-		bv, ok := baseBest[short]
-		if !ok {
-			continue
-		}
-		nv, ok := best(run.Benchmarks[name]["ns/op"])
-		if !ok {
-			continue
-		}
-		compared++
-		if nv > slack*bv {
-			failures = append(failures,
-				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (x%.2f > allowed x%.2f)", short, nv, bv, nv/bv, slack))
-		} else {
-			fmt.Printf("ok  %s: %.0f ns/op vs baseline %.0f (x%.2f)\n", short, nv, bv, nv/bv)
-		}
+	oks, failures, compared := checkRun(run, base, slack, memSlack)
+	for _, line := range oks {
+		fmt.Println(line)
 	}
 	if compared == 0 {
 		return fmt.Errorf("no overlapping benchmarks between stdin and %s", path)
@@ -181,8 +155,72 @@ func checkAgainst(run baseline, path string, slack float64) error {
 	if len(failures) > 0 {
 		return fmt.Errorf("perf regression against %s:\n  %s", path, strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("%d benchmark(s) within x%.2f of baseline\n", compared, slack)
+	fmt.Printf("%d benchmark(s) within x%.2f ns/op, x%.2f allocs/op+B/op of baseline\n", compared, slack, memSlack)
 	return nil
+}
+
+// checkRun compares the run against the baseline: for every benchmark
+// present in both, the new best (minimum) value of each gated metric
+// must not exceed its slack times the baseline best — ns/op gated by
+// slack, allocs/op and B/op gated by memSlack. Comparing minima
+// (benchstat's summary of repetitions) filters scheduler noise; the
+// generous time slack means only gross regressions — an accidentally-
+// hot disabled path — trip the guard, while the tighter memory slack
+// catches eroding allocation wins (allocs/op is nearly deterministic).
+// Metrics absent on either side (e.g. a baseline recorded without
+// -benchmem) are skipped. Returns the ok report lines (one per passing
+// benchmark, with a column per compared metric), the failure lines,
+// and the number of benchmarks compared on at least one metric.
+func checkRun(run, base baseline, slack, memSlack float64) (oks, failures []string, compared int) {
+	gates := []struct {
+		metric string
+		slack  float64
+	}{
+		{"ns/op", slack},
+		{"allocs/op", memSlack},
+		{"B/op", memSlack},
+	}
+	baseBest := map[string]map[string][]float64{}
+	for name, metrics := range base.Benchmarks {
+		baseBest[gomaxprocsSuffix.ReplaceAllString(name, "")] = metrics
+	}
+	names := make([]string, 0, len(run.Benchmarks))
+	for name := range run.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		short := gomaxprocsSuffix.ReplaceAllString(name, "")
+		bm, ok := baseBest[short]
+		if !ok {
+			continue
+		}
+		var cols []string
+		failed := false
+		for _, g := range gates {
+			bv, okBase := best(bm[g.metric])
+			nv, okRun := best(run.Benchmarks[name][g.metric])
+			if !okBase || !okRun || bv <= 0 {
+				continue
+			}
+			ratio := nv / bv
+			cols = append(cols, fmt.Sprintf("%.0f %s x%.2f", nv, g.metric, ratio))
+			if nv > g.slack*bv {
+				failed = true
+				failures = append(failures,
+					fmt.Sprintf("%s: %.0f %s vs baseline %.0f (x%.2f > allowed x%.2f)",
+						short, nv, g.metric, bv, ratio, g.slack))
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		compared++
+		if !failed {
+			oks = append(oks, fmt.Sprintf("ok  %s: %s", short, strings.Join(cols, ", ")))
+		}
+	}
+	return oks, failures, compared
 }
 
 // best returns the minimum of vs (the least-noise repetition).

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// bl builds a baseline with one benchmark holding the given metric
+// series.
+func bl(name string, metrics map[string][]float64) baseline {
+	return baseline{Benchmarks: map[string]map[string][]float64{name: metrics}}
+}
+
+func TestCheckRunPassesWithinSlack(t *testing.T) {
+	base := bl("BenchmarkX-8", map[string][]float64{
+		"ns/op": {100, 110}, "allocs/op": {1000, 1000}, "B/op": {50000, 50000},
+	})
+	run := bl("BenchmarkX-4", map[string][]float64{
+		"ns/op": {150}, "allocs/op": {1100}, "B/op": {55000},
+	})
+	oks, failures, compared := checkRun(run, base, 2.0, 1.25)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1", compared)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(oks) != 1 || !strings.Contains(oks[0], "allocs/op") || !strings.Contains(oks[0], "B/op") {
+		t.Fatalf("ok line should carry the alloc columns, got %v", oks)
+	}
+}
+
+// TestCheckRunFlagsAllocRegression is the acceptance test for the
+// memory gate: a synthetic allocs/op regression (time unchanged) must
+// fail the check.
+func TestCheckRunFlagsAllocRegression(t *testing.T) {
+	base := bl("BenchmarkFig1_IOR512-8", map[string][]float64{
+		"ns/op": {1e8}, "allocs/op": {33000}, "B/op": {4e6},
+	})
+	run := bl("BenchmarkFig1_IOR512-8", map[string][]float64{
+		"ns/op": {1e8}, "allocs/op": {66000}, "B/op": {4e6},
+	})
+	_, failures, compared := checkRun(run, base, 2.0, 1.25)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1", compared)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("want exactly one allocs/op failure, got %v", failures)
+	}
+}
+
+func TestCheckRunFlagsBytesRegression(t *testing.T) {
+	base := bl("BenchmarkY", map[string][]float64{
+		"ns/op": {100}, "allocs/op": {10}, "B/op": {1000},
+	})
+	run := bl("BenchmarkY", map[string][]float64{
+		"ns/op": {100}, "allocs/op": {10}, "B/op": {2000},
+	})
+	_, failures, _ := checkRun(run, base, 2.0, 1.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "B/op") {
+		t.Fatalf("want exactly one B/op failure, got %v", failures)
+	}
+}
+
+func TestCheckRunFlagsTimeRegression(t *testing.T) {
+	base := bl("BenchmarkZ", map[string][]float64{"ns/op": {100}})
+	run := bl("BenchmarkZ", map[string][]float64{"ns/op": {500}})
+	_, failures, _ := checkRun(run, base, 2.0, 1.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("want exactly one ns/op failure, got %v", failures)
+	}
+}
+
+// A baseline recorded without -benchmem must still gate on time and
+// skip the memory metrics rather than failing or crashing.
+func TestCheckRunSkipsMissingMemoryMetrics(t *testing.T) {
+	base := bl("BenchmarkW", map[string][]float64{"ns/op": {100}})
+	run := bl("BenchmarkW", map[string][]float64{
+		"ns/op": {120}, "allocs/op": {99999}, "B/op": {9e9},
+	})
+	oks, failures, compared := checkRun(run, base, 2.0, 1.25)
+	if compared != 1 || len(failures) != 0 {
+		t.Fatalf("compared=%d failures=%v, want 1 compared and none failed", compared, failures)
+	}
+	if len(oks) != 1 || strings.Contains(oks[0], "allocs/op") {
+		t.Fatalf("memory columns should be absent, got %v", oks)
+	}
+}
+
+// The -P GOMAXPROCS suffix differs across machines; benchmarks must
+// still pair up after stripping it, and disjoint sets must report zero
+// comparisons.
+func TestCheckRunSuffixAndOverlap(t *testing.T) {
+	base := bl("BenchmarkS-16", map[string][]float64{"ns/op": {100}})
+	run := bl("BenchmarkS-2", map[string][]float64{"ns/op": {100}})
+	if _, _, compared := checkRun(run, base, 2.0, 1.25); compared != 1 {
+		t.Fatalf("suffix-stripped names should pair up, compared = %d", compared)
+	}
+	other := bl("BenchmarkT", map[string][]float64{"ns/op": {100}})
+	if _, _, compared := checkRun(other, base, 2.0, 1.25); compared != 0 {
+		t.Fatalf("disjoint benchmarks should not compare, compared = %d", compared)
+	}
+}

@@ -1,0 +1,71 @@
+package flownet
+
+import (
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+// benchFabric starts streams across ports and returns after the poke
+// event has populated rates, leaving the fabric mid-run.
+func benchFabric(ports, streamsPerPort int, stagger sim.Duration) (*sim.Engine, *Fabric) {
+	eng := sim.NewEngine()
+	fab := New(eng, Config{AggregateMBps: 10_000, Quantum: 0.05})
+	for p := 0; p < ports; p++ {
+		port := fab.NewPort(2000)
+		for s := 0; s < streamsPerPort; s++ {
+			demand := 100 + float64((p*streamsPerPort+s)%7)*25
+			if stagger > 0 {
+				at := sim.Time(p*streamsPerPort+s) * stagger
+				eng.At(at, func() { port.Start(demand, StreamOpts{}) })
+			} else {
+				port.Start(demand, StreamOpts{})
+			}
+		}
+	}
+	return eng, fab
+}
+
+// BenchmarkFlownetRefresh measures the full refresh machinery —
+// advance, completion, incremental recompute, and next-wake scheduling
+// — by running stream populations to completion through the engine.
+func BenchmarkFlownetRefresh(b *testing.B) {
+	cases := []struct {
+		name           string
+		ports, perPort int
+		stagger        sim.Duration
+	}{
+		// Steady: every stream joins at t=0, so after one recompute the
+		// refreshes are completion-driven with long unchanged stretches.
+		{"steady256", 32, 8, 0},
+		// Churn: staggered joins force a membership change (and a
+		// recompute) on nearly every refresh.
+		{"churn256", 32, 8, 0.002},
+		// Beyond exactThreshold: quantum batching, no exact min-scan.
+		{"quantum1024", 64, 16, 0},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, fab := benchFabric(c.ports, c.perPort, c.stagger)
+				eng.Run()
+				if fab.ActiveStreams() != 0 {
+					b.Fatalf("%d streams still active", fab.ActiveStreams())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlownetRecompute isolates one two-level water-fill pass
+// over a steady population (the cost the dirty flag now skips on
+// unchanged-membership refreshes).
+func BenchmarkFlownetRecompute(b *testing.B) {
+	eng, fab := benchFabric(32, 8, 0)
+	// Process the poke so every stream is rated and listed.
+	eng.RunUntil(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab.recompute()
+	}
+}

@@ -41,15 +41,21 @@ type Config struct {
 // quantum of lag — keeping the cost of huge fan-outs (10k+ streams)
 // proportional to streams, not streams squared.
 type Fabric struct {
-	eng      *sim.Engine
-	cap      float64
-	quantum  sim.Duration
-	ports    []*Port
-	actPorts []*Port // ports with at least one stream (may hold stale entries until refresh)
-	active   int     // number of active streams across all ports
-	lastMove sim.Time
-	pokeSet  bool
-	gen      uint64 // invalidates scheduled refreshes
+	eng       *sim.Engine
+	cap       float64
+	quantum   sim.Duration
+	ports     []*Port
+	actPorts  []*Port // ports with at least one stream (may hold stale entries until refresh)
+	flowPorts []*Port // ports with ≥1 nonzero-rate stream as of the last recompute
+	active    int     // number of active streams across all ports
+	lastMove  sim.Time
+	pokeSet   bool
+	gen       uint64 // invalidates scheduled refreshes
+	dirty     bool   // membership or caps changed since the last recompute
+	nextDur   float64
+	free      []*Stream // engine-owned stream free list (see DESIGN.md §11)
+	pokeFn    func()
+	tickFn    func(uint64)
 
 	// Telemetry handles cached by Instrument; nil handles no-op, so the
 	// hot loops below pay a nil check and nothing else when disabled.
@@ -71,7 +77,19 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	if q == 0 {
 		q = 0.05
 	}
-	return &Fabric{eng: eng, cap: cfg.AggregateMBps, quantum: q}
+	f := &Fabric{eng: eng, cap: cfg.AggregateMBps, quantum: q}
+	// Both scheduling closures are allocated once here and reused for
+	// every poke and refresh tick over the fabric's lifetime.
+	f.pokeFn = func() {
+		f.pokeSet = false
+		f.refresh()
+	}
+	f.tickFn = func(gen uint64) {
+		if f.gen == gen {
+			f.refresh()
+		}
+	}
+	return f
 }
 
 // AggregateMBps returns the configured aggregate capacity.
@@ -96,6 +114,8 @@ type Port struct {
 	listed  bool    // present in fab.actPorts
 	maxUse  float64 // scratch: maximum useful rate this round
 	frozen  bool    // scratch: water-fill freeze mark
+	minDur  float64 // earliest completion among this port's streams, seconds from the last recompute
+	flowing bool    // at least one stream got a nonzero rate at the last recompute
 }
 
 // NewPort adds a port with the given local link capacity in MB/s
@@ -121,6 +141,7 @@ func (f *Fabric) NewWeightedPort(capMBps, weight float64) *Port {
 func (p *Port) SetCapMBps(capMBps float64) {
 	p.cap = capMBps
 	if p.listed {
+		p.fab.dirty = true
 		p.fab.poke()
 	}
 }
@@ -140,7 +161,10 @@ type StreamOpts struct {
 	Done func()
 }
 
-// Stream is one in-flight transfer.
+// Stream is one in-flight transfer. A Stream is only valid until its
+// completion: once Done has been scheduled the fabric recycles the
+// object through its free list, so callers must not retain or inspect
+// a Stream after its transfer finishes.
 type Stream struct {
 	port      *Port
 	remaining float64 // MB
@@ -167,29 +191,40 @@ func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
 	if w == 0 {
 		w = 1
 	}
-	s := &Stream{
+	f := p.fab
+	if demandMB == 0 {
+		// Zero-demand streams never enter a port, so they never reach
+		// the completion path that feeds the free list; allocate fresh.
+		if opts.Done != nil {
+			f.eng.At(f.eng.Now(), opts.Done)
+		}
+		return &Stream{port: p, rateCap: opts.RateCap, weight: w, joined: f.eng.Now(), finished: true}
+	}
+	var s *Stream
+	if n := len(f.free); n > 0 {
+		s = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	} else {
+		s = &Stream{}
+	}
+	*s = Stream{
 		port:      p,
 		remaining: demandMB,
 		rateCap:   opts.RateCap,
 		weight:    w,
-		joined:    p.fab.eng.Now(),
+		joined:    f.eng.Now(),
 		done:      opts.Done,
-	}
-	if demandMB == 0 {
-		s.finished = true
-		if s.done != nil {
-			p.fab.eng.At(p.fab.eng.Now(), s.done)
-		}
-		return s
 	}
 	p.streams = append(p.streams, s)
 	if !p.listed {
 		p.listed = true
-		p.fab.actPorts = append(p.fab.actPorts, p)
+		f.actPorts = append(f.actPorts, p)
 	}
-	p.fab.active++
-	p.fab.telMaxStreams.Set(float64(p.fab.active))
-	p.fab.poke()
+	f.active++
+	f.telMaxStreams.Set(float64(f.active))
+	f.dirty = true
+	f.poke()
 	return s
 }
 
@@ -198,12 +233,15 @@ func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
 func (p *Port) Transfer(proc *sim.Proc, demandMB float64, opts StreamOpts) sim.Duration {
 	start := proc.Now()
 	wake := proc.Block()
-	userDone := opts.Done
-	opts.Done = func() {
-		if userDone != nil {
+	if userDone := opts.Done; userDone != nil {
+		opts.Done = func() {
 			userDone()
+			wake()
 		}
-		wake()
+	} else {
+		// Common case: the wake is the whole completion action, and it
+		// is the process's pre-allocated wake function — no closure.
+		opts.Done = wake
 	}
 	p.Start(demandMB, opts)
 	proc.Park()
@@ -218,15 +256,15 @@ func (f *Fabric) poke() {
 		return
 	}
 	f.pokeSet = true
-	f.eng.At(f.eng.Now(), func() {
-		f.pokeSet = false
-		f.refresh()
-	})
+	f.eng.At(f.eng.Now(), f.pokeFn)
 }
 
 // refresh advances stream progress to now, completes finished streams,
-// recomputes rates, and schedules the next wake-up (exact completion
-// time for small populations, quantum tick for large ones).
+// recomputes rates if membership or caps changed since the last
+// recompute (unchanged populations keep their rates — the water-fill is
+// a pure function of membership and caps, so skipping it is exact, not
+// approximate), and schedules the next wake-up (exact completion time
+// for small populations, quantum tick for large ones).
 func (f *Fabric) refresh() {
 	f.telRefreshes.Inc()
 	now := f.eng.Now()
@@ -237,26 +275,39 @@ func (f *Fabric) refresh() {
 	if f.active == 0 {
 		return
 	}
-	f.recompute()
+	recomputed := false
+	if f.dirty {
+		f.recompute()
+		f.dirty = false
+		recomputed = true
+	}
 
 	next := now + f.quantum
 	if f.active <= exactThreshold {
-		for _, p := range f.actPorts {
-			for _, s := range p.streams {
-				if s.rate > 0 {
-					if t := now + sim.Time(s.remaining/s.rate); t < next {
-						next = t
+		if recomputed {
+			// The earliest completion was folded into nextDur as rates
+			// were assigned; no scan needed.
+			if t := now + sim.Time(f.nextDur); t < next {
+				next = t
+			}
+		} else {
+			// Rates are unchanged since the last recompute but the
+			// streams have advanced; rescan the flowing ports so the
+			// wake time matches the non-incremental schedule bit for
+			// bit. This only happens on a quantum tick with no
+			// membership change.
+			for _, p := range f.flowPorts {
+				for _, s := range p.streams {
+					if s.rate > 0 {
+						if t := now + sim.Time(s.remaining/s.rate); t < next {
+							next = t
+						}
 					}
 				}
 			}
 		}
 	}
-	gen := f.gen
-	f.eng.At(next, func() {
-		if f.gen == gen {
-			f.refresh()
-		}
-	})
+	f.eng.AtArg(next, f.tickFn, f.gen)
 }
 
 // completeFinished fires done callbacks for streams whose demand is
@@ -273,9 +324,15 @@ func (f *Fabric) completeFinished(now sim.Time) {
 			if s.remaining <= eps || (s.rate > 0 && s.remaining <= s.rate*1e-6) {
 				s.finished = true
 				f.active--
+				f.dirty = true
 				if s.done != nil {
 					f.eng.At(now, s.done)
 				}
+				// The stream is out of its port and its done callback
+				// holds no reference to it; recycle the object.
+				s.done = nil
+				s.port = nil
+				f.free = append(f.free, s)
 			} else {
 				kept = append(kept, s)
 			}
@@ -298,14 +355,17 @@ func (f *Fabric) completeFinished(now sim.Time) {
 }
 
 // advance integrates each stream's progress over [t0, t1) at the rates
-// assigned by the previous recompute. Streams that joined mid-interval
-// have had rate zero and are unaffected.
+// assigned by the previous recompute. Only ports that received a
+// nonzero rate at that recompute can have moving streams, so the walk
+// covers the compact flowPorts list rather than every active port.
+// Streams that joined mid-interval have had rate zero and are
+// unaffected.
 func (f *Fabric) advance(t0, t1 sim.Time) {
 	dt := float64(t1 - t0)
 	if dt <= 0 {
 		return
 	}
-	for _, p := range f.actPorts {
+	for _, p := range f.flowPorts {
 		for _, s := range p.streams {
 			if s.rate > 0 {
 				s.remaining -= s.rate * dt
@@ -366,19 +426,36 @@ func (f *Fabric) recompute() {
 			break
 		}
 	}
+	for i := range f.flowPorts {
+		f.flowPorts[i] = nil
+	}
+	f.flowPorts = f.flowPorts[:0]
+	nextDur := math.Inf(1)
 	for _, p := range f.actPorts {
 		p.distribute()
+		if p.minDur < nextDur {
+			nextDur = p.minDur
+		}
+		if p.flowing {
+			f.flowPorts = append(f.flowPorts, p)
+		}
 	}
+	f.nextDur = nextDur
 }
 
 // distribute water-fills the port share across its streams with the
 // same iterative-freezing scheme, honoring per-stream caps and weights.
+// As each stream's rate becomes final (at freeze, or at the level fill)
+// its completion duration is folded into p.minDur, so exact-mode
+// scheduling never needs a separate min-scan after a recompute.
 func (p *Port) distribute() {
 	totalW := 0.0
 	for _, s := range p.streams {
 		s.frozen = false
 		totalW += s.weight
 	}
+	minDur := math.Inf(1)
+	flowing := false
 	remaining := p.share
 	wRem := totalW
 	for wRem > 0 {
@@ -398,17 +475,31 @@ func (p *Port) distribute() {
 				remaining -= max
 				wRem -= s.weight
 				froze = true
+				if max > 0 {
+					flowing = true
+					if d := s.remaining / max; d < minDur {
+						minDur = d
+					}
+				}
 			}
 		}
 		if !froze {
 			for _, s := range p.streams {
 				if !s.frozen {
 					s.rate = s.weight * level
+					if s.rate > 0 {
+						flowing = true
+						if d := s.remaining / s.rate; d < minDur {
+							minDur = d
+						}
+					}
 				}
 			}
 			break
 		}
 	}
+	p.minDur = minDur
+	p.flowing = flowing
 }
 
 // ActiveStreams reports the number of in-flight streams fabric-wide.

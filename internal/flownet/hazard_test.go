@@ -1,0 +1,70 @@
+package flownet
+
+import (
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+// TestNearFinishedStreamTerminates pins the zero-advance-refresh
+// hazard: late in a run (large virtual now), a stream's residual
+// duration remaining/rate can be smaller than one ulp of now, so the
+// exact-mode wake time now + remaining/rate rounds back to now and the
+// refresh advances nothing. completeFinished's rate-slack comparison
+// (remaining <= rate*1e-6) is what breaks the loop — this test
+// constructs exactly that case and asserts the engine finishes the
+// stream in a bounded number of events instead of spinning forever.
+func TestNearFinishedStreamTerminates(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := New(eng, Config{AggregateMBps: 100, Quantum: 0.05})
+	port := fab.NewPort(0)
+
+	// At t=1e9 the float64 spacing is ~1.2e-7 s. A 1e-6 MB demand at
+	// 100 MB/s lasts 1e-8 s — far below half an ulp, so the scheduled
+	// completion time rounds to exactly now and advance sees dt == 0.
+	const bigT = sim.Time(1e9)
+	done := false
+	eng.At(bigT, func() {
+		port.Start(1e-6, StreamOpts{Done: func() { done = true }})
+	})
+	eng.Run()
+
+	if !done {
+		t.Fatal("near-finished stream never completed")
+	}
+	if fab.ActiveStreams() != 0 {
+		t.Fatalf("%d streams still active", fab.ActiveStreams())
+	}
+	if popped := eng.EventsPopped(); popped > 50 {
+		t.Fatalf("engine needed %d events for one tiny stream — the zero-advance refresh loop is back", popped)
+	}
+}
+
+// TestNearFinishedStreamAmongPeers is the same hazard with a healthy
+// stream sharing the port, checking the slack completes only the
+// vanishing stream and the survivor still finishes at its proper time.
+func TestNearFinishedStreamAmongPeers(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := New(eng, Config{AggregateMBps: 100, Quantum: 0.05})
+	port := fab.NewPort(0)
+
+	const bigT = sim.Time(1e9)
+	var tinyAt, bulkAt sim.Time
+	eng.At(bigT, func() {
+		port.Start(1e-6, StreamOpts{Done: func() { tinyAt = eng.Now() }})
+		port.Start(100, StreamOpts{Done: func() { bulkAt = eng.Now() }})
+	})
+	eng.Run()
+
+	if tinyAt == 0 || bulkAt == 0 {
+		t.Fatalf("streams did not complete: tiny=%v bulk=%v", tinyAt, bulkAt)
+	}
+	// The bulk stream moves 100 MB at 50-then-100 MB/s; with the tiny
+	// stream vanishing within one event, its duration must stay ~1 s.
+	if d := float64(bulkAt - bigT); d < 0.9 || d > 1.2 {
+		t.Fatalf("bulk stream took %v s, want ~1 s", d)
+	}
+	if popped := eng.EventsPopped(); popped > 100 {
+		t.Fatalf("engine needed %d events — zero-advance refresh loop", popped)
+	}
+}

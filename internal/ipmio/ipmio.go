@@ -121,6 +121,22 @@ func NewCollector(mode Mode) *Collector {
 	return c
 }
 
+// Reserve pre-sizes the trace-mode event buffer for n further events.
+// Workloads know their op count up front and call this once per run so
+// the per-event Record path never grows the slice. n is a capacity
+// floor, not a limit; recording past it just falls back to append
+// growth.
+func (c *Collector) Reserve(n int) {
+	if c.mode&TraceMode == 0 || n <= 0 {
+		return
+	}
+	if need := len(c.Events) + n; need > cap(c.Events) {
+		ev := make([]Event, len(c.Events), need)
+		copy(ev, c.Events)
+		c.Events = ev
+	}
+}
+
 // Record folds in one event.
 func (c *Collector) Record(ev Event) {
 	if c.mode&TraceMode != 0 {

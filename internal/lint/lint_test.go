@@ -38,6 +38,8 @@ func TestMatchScopes(t *testing.T) {
 	}{
 		{SimPurity, "ensembleio/internal/sim", true},
 		{SimPurity, "ensembleio/internal/workloads", true},
+		{SimPurity, "ensembleio/internal/flownet", true}, // engine-owned free lists, no sync.Pool
+		{SimPurity, "ensembleio/internal/cluster", true},
 		{SimPurity, "ensembleio/internal/ensemble", false},
 		{SimPurity, "ensembleio/internal/simulator", false}, // prefix must respect path boundaries
 		{MapOrder, "ensembleio/cmd/paperfig", true},         // maporder is global

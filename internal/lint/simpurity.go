@@ -9,14 +9,18 @@ import (
 // simulator packages: internal/sim promises bit-identical runs for a
 // given seed "regardless of GOMAXPROCS", which no code on the
 // simulated side may undermine by consulting the wall clock, the
-// global (process-wide, racily seeded) math/rand generator, or the
-// Go scheduler's configuration.
+// global (process-wide, racily seeded) math/rand generator, the Go
+// scheduler's configuration, or scheduler-ordered object recycling
+// (sync.Pool hands objects back in an order that depends on which P
+// freed them — pooled state must live on engine-owned free lists, see
+// DESIGN.md §11).
 var SimPurity = &Analyzer{
 	Name: "simpurity",
 	Doc: `forbid wall-clock time, global math/rand, scheduler-sensitive
-runtime calls, goroutine launches, and internal/runpool imports in
-simulator packages; use the sim.Engine virtual clock (sim.Time) and
-the engine's seeded *sim.RNG, and fan only whole independent runs in
+runtime calls, sync.Pool, goroutine launches, and internal/runpool
+imports in simulator packages; use the sim.Engine virtual clock
+(sim.Time) and the engine's seeded *sim.RNG, recycle objects through
+engine-owned free lists, and fan only whole independent runs in
 parallel — above the sim layer, via internal/runpool`,
 	Match: prefixMatcher(
 		"ensembleio/internal/sim",
@@ -25,6 +29,8 @@ parallel — above the sim layer, via internal/runpool`,
 		"ensembleio/internal/posixio",
 		"ensembleio/internal/ipmio",
 		"ensembleio/internal/workloads",
+		"ensembleio/internal/flownet",
+		"ensembleio/internal/cluster",
 	),
 	Run: runSimPurity,
 }
@@ -99,6 +105,14 @@ func runSimPurity(pass *Pass) {
 			case "runtime":
 				if schedulerFuncs[name] {
 					pass.Reportf(sel.Pos(), "scheduler-sensitive runtime.%s in simulator code; simulation results must not depend on GOMAXPROCS or goroutine scheduling", name)
+				}
+			case "sync":
+				// sync.Pool recycles in whatever order the scheduler
+				// freed objects, so reuse patterns (and any state that
+				// rides along) vary run to run. Deterministic recycling
+				// lives on engine-owned free lists instead.
+				if name == "Pool" {
+					pass.Reportf(sel.Pos(), "sync.Pool in simulator code; reuse order depends on the Go scheduler — recycle through an engine-owned free list (DESIGN.md §11)")
 				}
 			}
 			return true

@@ -5,6 +5,7 @@ package simpurity
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	_ "ensembleio/internal/runpool" // want `simulator package imports internal/runpool`
@@ -19,6 +20,13 @@ func flagged() {
 	rand.Shuffle(0, func(i, j int) {}) // want `global math/rand Shuffle`
 	runtime.GOMAXPROCS(0)              // want `scheduler-sensitive runtime.GOMAXPROCS`
 	_ = runtime.NumCPU()               // want `scheduler-sensitive runtime.NumCPU`
+}
+
+func pooled() {
+	var p sync.Pool // want `sync.Pool in simulator code`
+	p.Put(&struct{}{})
+	q := &sync.Pool{New: func() any { return new(int) }} // want `sync.Pool in simulator code`
+	_ = q.Get()
 }
 
 func goroutines() {
@@ -45,4 +53,11 @@ func allowed() {
 	//lint:allow simpurity lock-step rendezvous keeps this deterministic
 	go func() {}()
 	_ = runtime.Version() // scheduler-insensitive runtime call
+	// Other sync primitives are legal; only Pool's scheduler-ordered
+	// recycling is banned.
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	var once sync.Once
+	once.Do(func() {})
 }

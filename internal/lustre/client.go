@@ -36,9 +36,21 @@ type Client struct {
 	drainArmed bool        // a delayed drain is scheduled
 	workGen    int         // bumped on every enqueue; cancels delayed drains
 	rng        *sim.RNG
+
+	// Allocation-free machinery: pumpFn is the one dispatch closure the
+	// client ever schedules; freeJobs is the client-owned writeJob free
+	// list (jobs are recycled in their own done handler, see DESIGN.md
+	// §11); smallScratch backs the greedy lane across dispatch calls;
+	// drainChunk/drainDoneFn serve the single in-flight drain stream.
+	pumpFn       func()
+	freeJobs     []*writeJob
+	smallScratch []*writeJob
+	drainChunk   float64
+	drainDoneFn  func()
 }
 
 type writeJob struct {
+	c        *Client
 	file     *File
 	offset   int64   // extent start (OST attribution and fault caps)
 	length   int64   // extent length
@@ -48,10 +60,37 @@ type writeJob struct {
 	partials int     // partial-stripe RPC count (conflict exposure)
 	luckCap  float64 // OST-luck rate cap (+Inf for a normal draw)
 	wake     func()
+	slot     bool     // occupies a streaming slot (releases activeBig on completion)
+	capMBps  float64  // admission-time rate cap (lock/luck), pre-OST ceiling
+	launched sim.Time // actual stream start (set by startFn)
+	startFn  func()   // pre-bound: sample OST ceiling and start the stream
+	doneFn   func()   // pre-bound: completion accounting, wake, recycle
 }
 
 func newClient(fs *FS, n *cluster.Node) *Client {
-	return &Client{fs: fs, node: n, rng: fs.rng.Fork(int64(n.ID) + 1)}
+	c := &Client{fs: fs, node: n, rng: fs.rng.Fork(int64(n.ID) + 1)}
+	c.pumpFn = func() {
+		c.pumpSet = false
+		c.dispatch()
+	}
+	c.drainDoneFn = c.drainDone
+	return c
+}
+
+// newJob returns a reset writeJob, reusing one from the client's free
+// list when possible. The start/done closures are bound once per object
+// and read the job's current fields on every reuse.
+func (c *Client) newJob() *writeJob {
+	if n := len(c.freeJobs); n > 0 {
+		j := c.freeJobs[n-1]
+		c.freeJobs[n-1] = nil
+		c.freeJobs = c.freeJobs[:n-1]
+		return j
+	}
+	j := &writeJob{c: c}
+	j.startFn = j.start
+	j.doneFn = j.done
+	return j
 }
 
 // Node returns the compute node this client runs on.
@@ -91,17 +130,16 @@ func (c *Client) Write(p *sim.Proc, f *File, offset, length int64) sim.Duration 
 	}
 
 	if syncMB > 1e-12 {
-		job := &writeJob{
-			file:     f,
-			offset:   offset,
-			length:   length,
-			demandMB: syncMB * c.fs.Cl.ServiceNoise(),
-			regionMB: sizeMB,
-			aligned:  aligned,
-			partials: f.Layout.PartialRPCs(offset, length),
-			luckCap:  c.fs.Cl.StreamLuck(),
-			wake:     p.Block(),
-		}
+		job := c.newJob()
+		job.file = f
+		job.offset = offset
+		job.length = length
+		job.demandMB = syncMB * c.fs.Cl.ServiceNoise()
+		job.regionMB = sizeMB
+		job.aligned = aligned
+		job.partials = f.Layout.PartialRPCs(offset, length)
+		job.luckCap = c.fs.Cl.StreamLuck()
+		job.wake = p.Block()
 		c.fs.activeWriteJobs++
 		f.activeWriters++
 		c.fs.stats.WriteJobs++
@@ -128,10 +166,7 @@ func (c *Client) pump() {
 		return
 	}
 	c.pumpSet = true
-	c.fs.Cl.Eng.At(c.fs.Cl.Eng.Now(), func() {
-		c.pumpSet = false
-		c.dispatch()
-	})
+	c.fs.Cl.Eng.At(c.fs.Cl.Eng.Now(), c.pumpFn)
 }
 
 func (c *Client) dispatch() {
@@ -141,7 +176,7 @@ func (c *Client) dispatch() {
 	// bound, and luck-capped writes are stalled on a congested OST —
 	// neither should hold a streaming slot.
 	kept := c.bigQ[:0]
-	var small []*writeJob
+	small := c.smallScratch[:0]
 	for _, j := range c.bigQ {
 		if j.regionMB < prof.SlotMinMB || !math.IsInf(j.luckCap, 1) {
 			small = append(small, j)
@@ -154,8 +189,12 @@ func (c *Client) dispatch() {
 	}
 	c.bigQ = kept
 	for _, j := range small {
-		c.launch(j, nil)
+		c.launch(j)
 	}
+	for i := range small {
+		small[i] = nil
+	}
+	c.smallScratch = small[:0]
 
 	// Slot lane. The stream budget is resampled whenever the flusher
 	// goes fully idle (in synchronous workloads: once per phase per
@@ -187,45 +226,58 @@ func (c *Client) dispatch() {
 		c.bigQ[len(c.bigQ)-1] = nil
 		c.bigQ = c.bigQ[:len(c.bigQ)-1]
 		c.activeBig++
-		c.launch(j, func() {
-			c.activeBig--
-			c.pump()
-		})
+		j.slot = true
+		c.launch(j)
 	}
 }
 
-// launch starts the fabric stream for a write job. onDone (if any)
-// runs after the job completes, in addition to waking the writer.
-func (c *Client) launch(j *writeJob, onDone func()) {
-	capMBps := minf(c.fs.writeCapMBps(j.file, j.regionMB, j.aligned), j.luckCap)
+// launch starts the fabric stream for a write job. Jobs flagged with
+// slot release their streaming slot on completion, in addition to
+// waking the writer.
+func (c *Client) launch(j *writeJob) {
+	j.capMBps = minf(c.fs.writeCapMBps(j.file, j.regionMB, j.aligned), j.luckCap)
 	c.inflightW++
-	start := func() {
-		// Degraded-OST ceilings are sampled at actual stream start so a
-		// stall window that opens mid-queue still catches the stream.
-		launched := c.fs.Cl.Eng.Now()
-		capMBps := minf(capMBps, c.fs.ostCapMBps(j.file, j.offset, j.length, launched))
-		c.node.Port.Start(j.demandMB, flownet.StreamOpts{
-			RateCap: capMBps,
-			Done: func() {
-				c.fs.noteOSTService(j.file, j.offset, j.length, j.demandMB, c.fs.Cl.Eng.Now()-launched)
-				c.inflightW--
-				c.fs.activeWriteJobs--
-				j.file.activeWriters--
-				j.wake()
-				if onDone != nil {
-					onDone()
-				}
-				// Every completion pumps: a greedy-lane job may be the
-				// last writer, and the idle drain must still arm.
-				c.pump()
-			},
-		})
-	}
 	if delay := c.fs.conflictDelay(j.file, j.partials); delay > 0 {
-		c.fs.Cl.Eng.After(delay, start)
+		c.fs.Cl.Eng.After(delay, j.startFn)
 	} else {
-		start()
+		j.start()
 	}
+}
+
+// start samples the OST ceiling and opens the fabric stream. Degraded-
+// OST ceilings are sampled at actual stream start so a stall window
+// that opens mid-queue still catches the stream.
+func (j *writeJob) start() {
+	c := j.c
+	j.launched = c.fs.Cl.Eng.Now()
+	capMBps := minf(j.capMBps, c.fs.ostCapMBps(j.file, j.offset, j.length, j.launched))
+	c.node.Port.Start(j.demandMB, flownet.StreamOpts{
+		RateCap: capMBps,
+		Done:    j.doneFn,
+	})
+}
+
+// done is the stream-completion handler: accounting, writer wake, slot
+// release, and recycling the job into the client's free list. After
+// done returns the job may be reused by the next Write, so nothing may
+// retain a reference past this point.
+func (j *writeJob) done() {
+	c := j.c
+	c.fs.noteOSTService(j.file, j.offset, j.length, j.demandMB, c.fs.Cl.Eng.Now()-j.launched)
+	c.inflightW--
+	c.fs.activeWriteJobs--
+	j.file.activeWriters--
+	j.wake()
+	if j.slot {
+		c.activeBig--
+	}
+	// Every completion pumps: a greedy-lane job may be the last writer,
+	// and the idle drain must still arm.
+	c.pump()
+	j.file = nil
+	j.wake = nil
+	j.slot = false
+	c.freeJobs = append(c.freeJobs, j)
 }
 
 // WriteBusy reports whether any application write is queued or in
@@ -271,19 +323,22 @@ func (c *Client) startDrain() {
 	chunk := minf(c.node.DirtyMB, c.fs.Cl.Prof.DrainChunkMB)
 	c.fs.stats.DrainChunks++
 	c.drain = true
-	c.node.Port.Start(chunk, flownet.StreamOpts{
-		Done: func() {
-			c.node.DirtyMB -= chunk
-			if c.node.DirtyMB < 0 {
-				c.node.DirtyMB = 0
-			}
-			c.drain = false
-			// Keep draining until work arrives or the cache is clean.
-			if c.activeBig == 0 && len(c.bigQ) == 0 {
-				c.startDrain()
-			}
-		},
-	})
+	// At most one drain stream is in flight (guarded by c.drain), so a
+	// single chunk field plus the pre-bound done closure suffices.
+	c.drainChunk = chunk
+	c.node.Port.Start(chunk, flownet.StreamOpts{Done: c.drainDoneFn})
+}
+
+func (c *Client) drainDone() {
+	c.node.DirtyMB -= c.drainChunk
+	if c.node.DirtyMB < 0 {
+		c.node.DirtyMB = 0
+	}
+	c.drain = false
+	// Keep draining until work arrives or the cache is clean.
+	if c.activeBig == 0 && len(c.bigQ) == 0 {
+		c.startDrain()
+	}
 }
 
 // Fsync blocks until the node's cache holds no dirty data and no write

@@ -27,6 +27,11 @@ type FS struct {
 	rng   *sim.RNG
 	stats Stats
 
+	// ostScratch backs Layout.ForEachOSTBuf in the per-stream
+	// accounting paths (single-threaded under the lock-step engine, so
+	// one FS-wide buffer is safe).
+	ostScratch []int64
+
 	// OnPathology, when set, is called for every read that takes the
 	// degenerate page-read path (diagnostics and tests).
 	OnPathology func(nodeID int, t sim.Time, dirtyMB float64)
@@ -156,7 +161,7 @@ func (fs *FS) ostCapMBps(f *File, offset, length int64, t sim.Time) float64 {
 		return math.Inf(1)
 	}
 	cap := math.Inf(1)
-	f.Layout.ForEachOST(offset, length, fs.Cl.Prof.OSTs, func(ost int, _ float64) {
+	fs.ostScratch = f.Layout.ForEachOSTBuf(fs.ostScratch, offset, length, fs.Cl.Prof.OSTs, func(ost int, _ float64) {
 		factor := 1.0
 		if fs.ostMul != nil {
 			factor = fs.ostMul[ost]
@@ -184,7 +189,7 @@ func (fs *FS) noteOSTService(f *File, offset, length int64, demandMB float64, du
 		return
 	}
 	fs.telStreamS.Observe(float64(dur))
-	f.Layout.ForEachOST(offset, length, len(fs.stats.PerOST), func(ost int, frac float64) {
+	fs.ostScratch = f.Layout.ForEachOSTBuf(fs.ostScratch, offset, length, len(fs.stats.PerOST), func(ost int, frac float64) {
 		st := &fs.stats.PerOST[ost]
 		st.Streams++
 		st.MB += demandMB * frac

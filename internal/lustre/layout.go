@@ -27,8 +27,17 @@ type Layout struct {
 // the file system's OST population; a Count of 0 (or one exceeding the
 // population) stripes over all OSTs.
 func (l Layout) ForEachOST(offset, length int64, totalOSTs int, fn func(ost int, frac float64)) {
+	l.ForEachOSTBuf(nil, offset, length, totalOSTs, fn)
+}
+
+// ForEachOSTBuf is ForEachOST with a caller-provided scratch buffer for
+// the per-slot stripe counts, letting hot callers (the FS accounting
+// paths run once per completed stream) amortize the allocation. It
+// returns the possibly-grown buffer for reuse; the contents are
+// meaningless afterwards.
+func (l Layout) ForEachOSTBuf(buf []int64, offset, length int64, totalOSTs int, fn func(ost int, frac float64)) []int64 {
 	if length <= 0 || totalOSTs <= 0 {
-		return
+		return buf
 	}
 	count := l.Count
 	if count <= 0 || count > totalOSTs {
@@ -36,7 +45,7 @@ func (l Layout) ForEachOST(offset, length int64, totalOSTs int, fn func(ost int,
 	}
 	if l.StripeBytes <= 0 || count == 1 {
 		fn(l.OSTOffset%totalOSTs, 1)
-		return
+		return buf
 	}
 	first := offset / l.StripeBytes
 	last := (offset + length - 1) / l.StripeBytes
@@ -47,11 +56,17 @@ func (l Layout) ForEachOST(offset, length int64, totalOSTs int, fn func(ost int,
 		for s := 0; s < count; s++ {
 			fn((l.OSTOffset+s)%totalOSTs, 1/float64(count))
 		}
-		return
+		return buf
 	}
 	// Fewer stripes than slots: accumulate per-slot counts (slots may
 	// wrap), then report in ascending slot order.
-	counts := make([]int64, count)
+	if cap(buf) < count {
+		buf = make([]int64, count)
+	}
+	counts := buf[:count]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i := int64(0); i < n; i++ {
 		counts[(first+i)%int64(count)]++
 	}
@@ -60,6 +75,7 @@ func (l Layout) ForEachOST(offset, length int64, totalOSTs int, fn func(ost int,
 			fn((l.OSTOffset+s)%totalOSTs, float64(c)/float64(n))
 		}
 	}
+	return buf
 }
 
 // Aligned reports whether a write of length bytes at the given offset

@@ -26,10 +26,19 @@ type Duration = Time
 // Infinity is a time later than any event the engine will execute.
 const Infinity Time = math.MaxFloat64
 
+// event is one scheduled action. Exactly one of the three payload
+// variants is set: fn (a plain closure), afn+arg (a pre-allocated
+// function taking a uint64 argument carried in the event itself), or
+// proc (a direct process resume). The variants exist so the hot
+// schedulers — process wakes, sleeps, and the flownet refresh tick —
+// never allocate a closure per event.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	fn   func()
+	afn  func(uint64)
+	arg  uint64
+	proc *Proc
 }
 
 // eventHeap is a hand-rolled binary min-heap ordered by (t, seq).
@@ -124,11 +133,30 @@ func (e *Engine) Now() Time { return e.now }
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: events must never run backwards.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	e.schedule(event{t: t, fn: fn})
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. The argument
+// rides in the event itself, so a pre-allocated fn can be rescheduled
+// forever without a per-event closure; the flownet refresh tick uses it
+// to carry its generation counter.
+func (e *Engine) AtArg(t Time, fn func(uint64), arg uint64) {
+	e.schedule(event{t: t, afn: fn, arg: arg})
+}
+
+// atResume schedules a direct resume of p at time t — the closure-free
+// path behind Spawn, Sleep, and Block wakes.
+func (e *Engine) atResume(t Time, p *Proc) {
+	e.schedule(event{t: t, proc: p})
+}
+
+func (e *Engine) schedule(ev event) {
+	if ev.t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", ev.t, e.now))
 	}
 	e.seq++
-	e.events.push(event{t: t, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	e.events.push(ev)
 	if n := e.events.len(); n > e.maxHeap {
 		e.maxHeap = n
 	}
@@ -158,7 +186,14 @@ func (e *Engine) RunUntil(limit Time) Time {
 		ev := e.events.pop()
 		e.popped++
 		e.now = ev.t
-		ev.fn()
+		switch {
+		case ev.proc != nil:
+			ev.proc.resume()
+		case ev.afn != nil:
+			ev.afn(ev.arg)
+		default:
+			ev.fn()
+		}
 	}
 	if e.procs > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.procs, e.now))

@@ -11,12 +11,19 @@ type Proc struct {
 	wake chan struct{}
 	name string
 	done bool
+
+	// wakeFn is the one wake function this process ever hands out (see
+	// Block); wakeArmed guards it so a stray second call still panics
+	// the way the per-call closures used to.
+	wakeFn    func()
+	wakeArmed bool
 }
 
 // Spawn starts fn as a simulated process at the current virtual time.
 // The name is used in diagnostics only.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, wake: make(chan struct{}), name: name}
+	p.wakeFn = p.fireWake
 	e.procs++
 	// This is the one sanctioned goroutine launch in the simulator:
 	// the process advances only in strict rendezvous with the event
@@ -30,7 +37,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.eng.procs--
 		p.eng.ack <- struct{}{}
 	}()
-	e.At(e.now, func() { p.resume() })
+	e.atResume(e.now, p)
 	return p
 }
 
@@ -66,7 +73,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.eng.After(d, p.resume)
+	p.eng.atResume(p.eng.now+d, p)
 	p.park()
 }
 
@@ -74,15 +81,28 @@ func (p *Proc) Sleep(d Duration) {
 // wake function. The wake function is safe to call from event
 // functions or from other processes (it schedules the resume rather
 // than performing it inline) and must be called exactly once.
+//
+// The returned function is the process's single pre-allocated wake —
+// Block never allocates. A process may therefore hold at most one
+// un-fired wake at a time; obtaining a second one before the first
+// fires panics, as does firing a wake twice.
 func (p *Proc) Block() (wake func()) {
-	fired := false
-	return func() {
-		if fired {
-			panic(fmt.Sprintf("sim: double wake of process %q", p.name))
-		}
-		fired = true
-		p.eng.At(p.eng.now, p.resume)
+	if p.wakeArmed {
+		panic(fmt.Sprintf("sim: Block on process %q with a wake already pending", p.name))
 	}
+	p.wakeArmed = true
+	return p.wakeFn
+}
+
+// fireWake is the body of every wake function Block hands out: it
+// disarms the guard and schedules a closure-free resume at the current
+// instant.
+func (p *Proc) fireWake() {
+	if !p.wakeArmed {
+		panic(fmt.Sprintf("sim: double wake of process %q", p.name))
+	}
+	p.wakeArmed = false
+	p.eng.atResume(p.eng.now, p)
 }
 
 // blockNow parks immediately; used with Block:

@@ -102,45 +102,35 @@ const (
 // first reference to a path emits a definition record, later events
 // carry only its id.
 func WriteBinary(w io.Writer, events []ipmio.Event, marks []ipmio.PhaseMark) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binMagic); err != nil {
-		return err
+	// The whole trace is encoded into one buffer and written with a
+	// single call: the initial size estimate (~40 bytes per event)
+	// covers typical traces, so the buffer grows at most a handful of
+	// times per run instead of flushing thousands of small writes.
+	buf := make([]byte, 0, len(binMagic)+40*len(events)+48*len(marks)+64)
+	buf = append(buf, binMagic...)
+	var vb [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(vb[:], v)
+		buf = append(buf, vb[:n]...)
 	}
-	var buf [binary.MaxVarintLen64]byte
-	putUv := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
+	putIv := func(v int64) {
+		n := binary.PutVarint(vb[:], v)
+		buf = append(buf, vb[:n]...)
 	}
-	putIv := func(v int64) error {
-		n := binary.PutVarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	putF := func(f float64) error {
+	putF := func(f float64) {
 		var b [8]byte
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
-		_, err := bw.Write(b[:])
-		return err
+		buf = append(buf, b[:]...)
 	}
-	putS := func(s string) error {
-		if err := putUv(uint64(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
-		return err
+	putS := func(s string) {
+		putUv(uint64(len(s)))
+		buf = append(buf, s...)
 	}
 
 	for _, m := range marks {
-		if err := putUv(kindMark); err != nil {
-			return err
-		}
-		if err := putS(m.Name); err != nil {
-			return err
-		}
-		if err := putF(float64(m.T)); err != nil {
-			return err
-		}
+		putUv(kindMark)
+		putS(m.Name)
+		putF(float64(m.T))
 	}
 
 	paths := make(map[string]uint64)
@@ -149,45 +139,22 @@ func WriteBinary(w io.Writer, events []ipmio.Event, marks []ipmio.PhaseMark) err
 		if !ok {
 			id = uint64(len(paths))
 			paths[e.File] = id
-			if err := putUv(kindPath); err != nil {
-				return err
-			}
-			if err := putUv(id); err != nil {
-				return err
-			}
-			if err := putS(e.File); err != nil {
-				return err
-			}
+			putUv(kindPath)
+			putUv(id)
+			putS(e.File)
 		}
-		if err := putUv(kindEvent); err != nil {
-			return err
-		}
-		if err := putUv(uint64(e.Rank)); err != nil {
-			return err
-		}
-		if err := putUv(uint64(e.Op)); err != nil {
-			return err
-		}
-		if err := putUv(uint64(e.FD)); err != nil {
-			return err
-		}
-		if err := putUv(id); err != nil {
-			return err
-		}
-		if err := putIv(e.Offset); err != nil {
-			return err
-		}
-		if err := putIv(e.Bytes); err != nil {
-			return err
-		}
-		if err := putF(float64(e.Start)); err != nil {
-			return err
-		}
-		if err := putF(float64(e.Dur)); err != nil {
-			return err
-		}
+		putUv(kindEvent)
+		putUv(uint64(e.Rank))
+		putUv(uint64(e.Op))
+		putUv(uint64(e.FD))
+		putUv(id)
+		putIv(e.Offset)
+		putIv(e.Bytes)
+		putF(float64(e.Start))
+		putF(float64(e.Dur))
 	}
-	return bw.Flush()
+	_, err := w.Write(buf)
+	return err
 }
 
 // ReadBinary decodes a binary trace.

@@ -120,6 +120,13 @@ func RunGCRM(cfg GCRMConfig) *Run {
 
 	j := newJob(cfg.Machine, ranks, cfg.Seed, cfg.Mode, cfg.Telemetry)
 	j.applyFaults(cfg.Faults)
+	// Per writer: open + close and one write per record it owns; the
+	// per-variable metadata flushes come from the single metadata-writer
+	// rank — pre-size the trace buffer to the full run (a floor;
+	// aggregated-metadata close writes ride on top).
+	recsPerWriter := perWriter * (cfg.SingleVars + cfg.MultiVars*cfg.MultiRecs)
+	metaOps := (cfg.SingleVars + cfg.MultiVars) * cfg.MetaOpsPerVar
+	j.col.Reserve(writers*(2+recsPerWriter) + metaOps + 4)
 
 	// In two-stage mode, writer w is world rank w*perWriter (spreading
 	// aggregators across nodes); its group is the perWriter ranks
@@ -144,6 +151,21 @@ func RunGCRM(cfg GCRMConfig) *Run {
 		}
 	}
 
+	// Dataset and phase-mark names are shared across ranks; format them
+	// once here instead of once per rank inside the launch body.
+	singleNames := make([]string, cfg.SingleVars)
+	singleMarks := make([]string, cfg.SingleVars)
+	for v := range singleNames {
+		singleNames[v] = fmt.Sprintf("var1_%d", v)
+		singleMarks[v] = fmt.Sprintf("single-var-%d", v)
+	}
+	multiNames := make([]string, cfg.MultiVars)
+	multiMarks := make([]string, cfg.MultiVars)
+	for v := range multiNames {
+		multiNames[v] = fmt.Sprintf("var%d_%d", cfg.MultiRecs, v)
+		multiMarks[v] = fmt.Sprintf("multi-var-%d", v)
+	}
+
 	j.launch(func(r *mpiRank, tr *tracer) {
 		w, isWriter := writerIdx(r.ID)
 		var group *mpiComm
@@ -166,11 +188,11 @@ func RunGCRM(cfg GCRMConfig) *Run {
 			}
 			for v := 0; v < cfg.SingleVars; v++ {
 				singles = append(singles, f.CreateDataset(
-					fmt.Sprintf("var1_%d", v), cfg.RecordBytes, cfg.Tasks, cfg.MetaOpsPerVar))
+					singleNames[v], cfg.RecordBytes, cfg.Tasks, cfg.MetaOpsPerVar))
 			}
 			for v := 0; v < cfg.MultiVars; v++ {
 				multis = append(multis, f.CreateDataset(
-					fmt.Sprintf("var%d_%d", cfg.MultiRecs, v), cfg.RecordBytes, cfg.Tasks*cfg.MultiRecs, cfg.MetaOpsPerVar))
+					multiNames[v], cfg.RecordBytes, cfg.Tasks*cfg.MultiRecs, cfg.MetaOpsPerVar))
 			}
 		}
 
@@ -208,14 +230,14 @@ func RunGCRM(cfg GCRMConfig) *Run {
 			if isWriter {
 				ds = singles[v]
 			}
-			writeVar(ds, 1, fmt.Sprintf("single-var-%d", v))
+			writeVar(ds, 1, singleMarks[v])
 		}
 		for v := 0; v < cfg.MultiVars; v++ {
 			var ds *h5lite.Dataset
 			if isWriter {
 				ds = multis[v]
 			}
-			writeVar(ds, cfg.MultiRecs, fmt.Sprintf("multi-var-%d", v))
+			writeVar(ds, cfg.MultiRecs, multiMarks[v])
 		}
 		if isWriter {
 			j.mark(r, "close")

@@ -85,6 +85,13 @@ func RunIOR(cfg IORConfig) *Run {
 	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode, cfg.Telemetry)
 	j.fs.DefaultStripeCount = cfg.StripeCount
 	j.applyFaults(cfg.Faults)
+	// Every rank records one open, Reps*k writes, k reads when reading
+	// back, and one close; pre-size the trace buffer to the full run.
+	perRank := 2 + cfg.Reps*k
+	if cfg.ReadBack {
+		perRank += k
+	}
+	j.col.Reserve(cfg.Tasks * perRank)
 	j.launch(func(r *mpiRank, tr *tracer) {
 		path := cfg.Path
 		base := int64(r.ID) * cfg.BlockBytes

@@ -85,6 +85,9 @@ func RunMADbench(cfg MADbenchConfig) *Run {
 	if cfg.Instrument != nil {
 		cfg.Instrument(j.fs)
 	}
+	// Per rank: open, S write, W seek+read+seek+write, C seek+read per
+	// matrix, close — pre-size the trace buffer to the full run.
+	j.col.Reserve(cfg.Tasks * (2 + cfg.Matrices*7))
 	j.launch(func(r *mpiRank, tr *tracer) {
 		fd, err := tr.Open(r.P, cfg.Path, posixio.OCreat|posixio.ORdwr)
 		if err != nil {

@@ -1,0 +1,108 @@
+package ensembleio_test
+
+// Pooled-object reuse regression. The simulator recycles Streams and
+// write jobs through engine-owned free lists (see DESIGN.md §11); every
+// free list is owned by a single Fabric or Client and dies with its
+// run, so back-to-back runs in one process must be indistinguishable
+// from runs in fresh processes. This suite pins that property: if a
+// future change promotes any free list to package-global state (a
+// sync.Pool, a shared scratch buffer), a run's bytes would depend on
+// what ran before it in the process, and these comparisons break.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ensembleio"
+)
+
+// serializeRun flattens a run into its persistent encodings — the
+// binary trace and the JSONL trace — which together cover every event
+// the simulator emitted.
+func serializeRun(t *testing.T, run *ensembleio.Run) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := ensembleio.SaveTrace(&out, run); err != nil {
+		t.Fatalf("SaveTrace: %v", err)
+	}
+	if err := ensembleio.SaveTraceJSON(&out, run); err != nil {
+		t.Fatalf("SaveTraceJSON: %v", err)
+	}
+	fmt.Fprintf(&out, "wall=%v\n", run.Wall)
+	return out.Bytes()
+}
+
+// poolingWorkloads returns one runner per workload family, each with a
+// distinct shape (stream population, write-job mix, metadata pattern)
+// so consecutive runs exercise the free lists at different sizes.
+func poolingWorkloads() []struct {
+	name string
+	run  func() *ensembleio.Run
+} {
+	return []struct {
+		name string
+		run  func() *ensembleio.Run
+	}{
+		{"ior", func() *ensembleio.Run {
+			return ensembleio.RunIOR(ensembleio.IORConfig{
+				Machine: ensembleio.Franklin(), Tasks: 16, Reps: 2,
+				BlockBytes: 32e6, TransferBytes: 8e6, Seed: 11,
+			})
+		}},
+		{"madbench", func() *ensembleio.Run {
+			return ensembleio.RunMADbench(ensembleio.MADbenchConfig{
+				Machine: ensembleio.Jaguar(), Tasks: 36, Matrices: 2, Seed: 11,
+			})
+		}},
+		{"gcrm", func() *ensembleio.Run {
+			return ensembleio.RunGCRM(ensembleio.GCRMConfig{
+				Machine: ensembleio.Franklin(), Tasks: 80, Seed: 11,
+			})
+		}},
+	}
+}
+
+// TestPooledReuseAcrossRuns runs each workload once to record reference
+// bytes, then cycles through all of them twice more in the same
+// process and asserts every later run reproduces its reference
+// byte-for-byte. Stale state leaking through a recycled Stream or
+// write job — or any accidentally process-global pool — would make a
+// run's output depend on the runs before it.
+func TestPooledReuseAcrossRuns(t *testing.T) {
+	workloads := poolingWorkloads()
+	ref := make(map[string][]byte)
+	for _, w := range workloads {
+		ref[w.name] = serializeRun(t, w.run())
+		if len(ref[w.name]) == 0 {
+			t.Fatalf("%s: empty serialization; the reuse check is vacuous", w.name)
+		}
+	}
+	for cycle := 1; cycle <= 2; cycle++ {
+		for _, w := range workloads {
+			got := serializeRun(t, w.run())
+			if !bytes.Equal(got, ref[w.name]) {
+				t.Errorf("cycle %d: %s diverged from its first-run bytes (%d vs %d bytes) — pooled state leaked between runs",
+					cycle, w.name, len(got), len(ref[w.name]))
+			}
+		}
+	}
+}
+
+// TestPooledReuseOrderIndependent reruns the interleaving in the
+// opposite order. A pool keyed on anything process-wide would show up
+// as an order dependence even if same-order repetition happens to
+// reproduce.
+func TestPooledReuseOrderIndependent(t *testing.T) {
+	workloads := poolingWorkloads()
+	ref := make(map[string][]byte)
+	for _, w := range workloads {
+		ref[w.name] = serializeRun(t, w.run())
+	}
+	for i := len(workloads) - 1; i >= 0; i-- {
+		w := workloads[i]
+		if got := serializeRun(t, w.run()); !bytes.Equal(got, ref[w.name]) {
+			t.Errorf("reverse order: %s diverged from its first-run bytes — run output depends on run order", w.name)
+		}
+	}
+}
