@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race race-stress lint fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard ci
+.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard ci
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,26 @@ vet:
 	$(GO) vet ./...
 
 # lint = everything static: formatting, go vet, and the project's own
-# determinism/statistics multichecker (see cmd/ensemblelint).
+# determinism/statistics multichecker (see cmd/ensemblelint) — the
+# per-package analyzers plus the interprocedural detflow dataflow and
+# the //lint:allow hygiene check, under a hard wall-clock budget so
+# the whole-program analysis can never bog down CI.
 lint: fmt vet
-	$(GO) run ./cmd/ensemblelint ./...
+	$(GO) run ./cmd/ensemblelint -budget 30s ./...
+
+# lint-sarif: same findings as machine-readable SARIF 2.1.0 (validated
+# before writing), for GitHub code-scanning annotations.
+lint-sarif:
+	@mkdir -p out
+	$(GO) run ./cmd/ensemblelint -budget 30s -sarif -o out/ensemblelint.sarif ./...
+	@echo "wrote out/ensemblelint.sarif"
+
+# lint-testdata: smoke-check that every golden corpus still
+# type-checks and matches its want comments (the lint suite's own
+# tests; testdata dirs are invisible to ./... so this is the only
+# gate that loads them).
+lint-testdata:
+	$(GO) test -count=1 ./internal/lint/...
 
 # bench: run every benchmark in the repo BENCHCOUNT times and rewrite
 # the checked-in perf baseline. BENCH_ensembleio.json maps each
@@ -81,4 +98,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzSpanDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzMetricsDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 
-ci: build lint race race-stress bench-smoke trace-smoke bench-guard fuzz-smoke
+ci: build lint lint-testdata race race-stress bench-smoke trace-smoke bench-guard fuzz-smoke

@@ -196,7 +196,7 @@ func loadEvents(path string) []ipmio.Event {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close() //lint:allow errclose file opened read-only
+	defer f.Close() //lint:allow(errclose) file opened read-only
 	br := bufio.NewReader(f)
 	first, err := br.Peek(1)
 	if err != nil {
@@ -219,7 +219,7 @@ func loadProfile(path string) *tracefmt.Profile {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close() //lint:allow errclose file opened read-only
+	defer f.Close() //lint:allow(errclose) file opened read-only
 	p, err := tracefmt.ReadProfile(f)
 	if err != nil {
 		log.Fatalf("%s: %v", path, err)

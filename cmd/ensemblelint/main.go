@@ -1,7 +1,7 @@
 // Command ensemblelint is the project's static-analysis multichecker.
 // It enforces the determinism and statistical-correctness invariants
 // the reproduction depends on (see DESIGN.md, "Determinism
-// invariants"):
+// invariants" and "Static-analysis architecture"):
 //
 //	simpurity  no wall clock, global math/rand, or scheduler
 //	           dependence inside the simulator packages
@@ -12,33 +12,51 @@
 //	           persistence layer and CLIs
 //	telwall    no wall-clock reads or global math/rand in the
 //	           telemetry and trace-format packages (virtual time only)
+//	detflow    whole-program determinism dataflow: no nondeterminism
+//	           laundered into a critical package through helper
+//	           calls, reported with the full source→sink call chain
+//	allowcheck (always on) no reasonless, unknown-target, or stale
+//	           //lint:allow directives
 //
 // Usage:
 //
-//	ensemblelint [-run names] [-list] [packages]
+//	ensemblelint [-run names] [-list] [-json|-sarif] [-o file]
+//	             [-budget d] [packages]
 //
-// With no packages, ./... is checked. A finding can be suppressed
-// with a justification comment on its line or the line above:
+// With no packages, ./... is checked. -json and -sarif switch the
+// output to machine-readable findings (SARIF 2.1.0 renders as inline
+// annotations on GitHub PRs). -budget fails the run if the analysis
+// itself exceeds the given wall-clock duration — the CI guard that
+// keeps `make lint` fast. A finding can be suppressed with a
+// justification directive on its line or the line above:
 //
-//	//lint:allow floateq sort comparator needs exact ordering
+//	//lint:allow(floateq) sort comparator needs exact ordering
 //
-// Exit status is 1 when any finding is reported.
+// Exit status is 1 when any finding is reported, 3 when the budget is
+// exceeded.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"ensembleio/internal/cliutil"
 	"ensembleio/internal/lint"
+	"ensembleio/internal/lint/detflow"
 )
 
 func main() {
 	var (
 		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		sarif   = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for CI annotations)")
+		outPath = flag.String("o", "", "write output to file instead of stdout")
+		budget  = flag.Duration("budget", 0, "fail (exit 3) if the analysis takes longer than this")
 		version = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -47,11 +65,12 @@ func main() {
 		return
 	}
 
-	analyzers := lint.Analyzers()
+	analyzers := append(lint.Analyzers(), detflow.Analyzer)
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
 		}
+		fmt.Printf("%-10s %s\n", lint.AllowCheckName, "reject reasonless, unknown-target, and stale //lint:allow directives (always on)")
 		return
 	}
 	if *run != "" {
@@ -69,19 +88,69 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+	if *jsonOut && *sarif {
+		fmt.Fprintln(os.Stderr, "ensemblelint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 	pkgs, err := lint.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ensemblelint: %v\n", err)
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	elapsed := time.Since(start)
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ensemblelint: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ensemblelint: closing %s: %v\n", *outPath, err)
+				os.Exit(2)
+			}
+		}()
+		out = f
+	}
+
+	baseDir, err := os.Getwd()
+	if err != nil {
+		baseDir = ""
+	}
+	switch {
+	case *sarif:
+		log := lint.BuildSARIF(diags, analyzers, baseDir, cliutil.Version())
+		if err := lint.ValidateSARIF(log); err != nil {
+			fmt.Fprintf(os.Stderr, "ensemblelint: internal error: %v\n", err)
+			os.Exit(2)
+		}
+		if err := lint.WriteSARIF(out, log); err != nil {
+			fmt.Fprintf(os.Stderr, "ensemblelint: %v\n", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
+		if err := lint.WriteJSON(out, diags, baseDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ensemblelint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "ensemblelint: analysis took %s, over the %s budget\n", elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ensemblelint: %d finding(s)\n", len(diags))

@@ -146,7 +146,7 @@ func loadSnapshot(path string) *telemetry.Snapshot {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close() //lint:allow errclose file opened read-only
+	defer f.Close() //lint:allow(errclose) file opened read-only
 	snap, err := tracefmt.ReadMetrics(f)
 	if err != nil {
 		log.Fatalf("%s: %v", path, err)
@@ -305,7 +305,7 @@ func printSpans(path string, top int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close() //lint:allow errclose file opened read-only
+	defer f.Close() //lint:allow(errclose) file opened read-only
 	spans, err := tracefmt.ReadSpans(f)
 	if err != nil {
 		log.Fatalf("%s: %v", path, err)

@@ -167,7 +167,7 @@ func validateChrome(path string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close() //lint:allow errclose file opened read-only
+	defer f.Close() //lint:allow(errclose) file opened read-only
 	return ensembleio.ValidateChromeTrace(bufio.NewReader(f))
 }
 
@@ -177,7 +177,7 @@ func load(path string) ([]ipmio.Event, []ipmio.PhaseMark, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close() //lint:allow errclose file opened read-only
+	defer f.Close() //lint:allow(errclose) file opened read-only
 	br := bufio.NewReader(f)
 	first, err := br.Peek(1)
 	if err != nil {

@@ -456,6 +456,7 @@ type Progress = runpool.Progress
 // StderrProgress returns a Progress rendering a single-line live
 // meter (count, percent, rate, ETA) to w, typically os.Stderr.
 func StderrProgress(w io.Writer, label string) Progress {
+	//lint:allow(detflow) progress meters are host-side observability; the rendered rate/ETA never touches a run artifact
 	return runpool.StderrProgress(w, label)
 }
 

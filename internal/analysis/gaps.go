@@ -59,7 +59,7 @@ func Gaps(events []ipmio.Event, minGap sim.Duration) []Gap {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		//lint:allow floateq sort comparators need exact ordering for determinism
+		//lint:allow(floateq) sort comparators need exact ordering for determinism
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
@@ -113,7 +113,7 @@ func RankActivities(events []ipmio.Event) []RankActivity {
 		t := bounds[i].t
 		// Apply all boundaries at this instant; account per-rank busy
 		// time and job-wide exclusive time only at transitions.
-		//lint:allow floateq grouping boundaries at the bit-identical instant is intended
+		//lint:allow(floateq) grouping boundaries at the bit-identical instant is intended
 		for i < len(bounds) && bounds[i].t == t {
 			b := bounds[i]
 			was := depth[b.rank]
@@ -137,7 +137,7 @@ func RankActivities(events []ipmio.Event) []RankActivity {
 		}
 		if soloRank < 0 && len(active) == 1 {
 			for r := range active {
-				soloRank = r //lint:allow maporder active holds exactly one rank here
+				soloRank = r //lint:allow(maporder) active holds exactly one rank here
 			}
 			soloSince = t
 		}

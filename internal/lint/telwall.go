@@ -48,14 +48,14 @@ func runTelWall(pass *Pass) {
 			name := sel.Sel.Name
 			switch pkgName.Imported().Path() {
 			case "time":
-				if wallClockFuncs[name] {
+				if WallClockFuncs[name] {
 					pass.Reportf(sel.Pos(), "wall-clock time.%s in telemetry code; telemetry carries virtual time only — serialized artifacts must be byte-identical across repeats (host-side reporting belongs in internal/runpool or internal/cliutil)", name)
 				}
 			case "math/rand", "math/rand/v2":
 				if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
 					return true
 				}
-				if !seededRandCtors[name] {
+				if !SeededRandCtors[name] {
 					pass.Reportf(sel.Pos(), "global math/rand %s in telemetry code; anything that varies run-to-run poisons the byte-determinism of exported metrics and traces", name)
 				}
 			}

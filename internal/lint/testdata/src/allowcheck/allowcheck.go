@@ -1,0 +1,47 @@
+// Package allowcheck is golden testdata for directive hygiene: every
+// way a //lint:allow comment can be wrong (reasonless, unknown
+// analyzer, stale) plus both accepted syntaxes. The companion test
+// runs floateq over it and asserts the exact allowcheck finding set.
+package allowcheck
+
+// Reasonless: suppresses the floateq finding below, but the directive
+// itself is an allowcheck finding.
+func reasonless(a, b float64) bool {
+	//lint:allow(floateq)
+	return a == b
+}
+
+// Structured form with a reason: suppressed, no findings at all.
+func sanctioned(a, b float64) bool {
+	//lint:allow(floateq) exact sentinel comparison is the intended semantics here
+	return a == b
+}
+
+// Legacy space-separated form with a reason: still parsed, still
+// suppresses, no findings.
+func legacy(a, b float64) bool {
+	//lint:allow floateq legacy one-line form must keep working
+	return a == b
+}
+
+// Unknown analyzer: the directive is an allowcheck finding AND the
+// floateq finding is not suppressed (the directive names the wrong
+// check).
+func unknown(a, b float64) bool {
+	//lint:allow(nosuchcheck) citing a check that does not exist
+	return a == b
+}
+
+// Stale: the directive names an analyzer that ran but has nothing to
+// suppress on the covered lines.
+func stale(a, b int) bool {
+	//lint:allow(floateq) nothing here compares floats
+	return a == b
+}
+
+// Multi-name directive: one used name keeps the directive fresh even
+// though the other named analyzer did not run in this suite.
+func multi(a, b float64) bool {
+	//lint:allow(floateq,simpurity) comparator needs exact equality; simpurity does not run here
+	return a == b
+}

@@ -37,3 +37,44 @@ func justified(xs []float64) bool {
 }
 
 func intsAreFine(a, b int) bool { return a == b }
+
+// Composite types carrying floats compare their floats exactly; the
+// named-type wrapping must not hide that from the analyzer.
+type point struct{ X, Y float64 }
+type nested struct{ P point }
+type pair [2]float64
+type fingerprint [4]seconds
+
+func compositeEquality(a, b point, n1, n2 nested, p, q pair, f, g fingerprint) bool {
+	if a == b { // want `composite values containing floats`
+		return true
+	}
+	if n1 != n2 { // want `composite values containing floats`
+		return true
+	}
+	if p == q { // want `composite values containing floats`
+		return true
+	}
+	return f == g // want `composite values containing floats`
+}
+
+type intPair [2]int
+
+func compositeOfIntsIsFine(a, b intPair) bool { return a == b }
+
+func switchOnFloat(x float64, s seconds) int {
+	switch x { // want `switch on a floating-point value`
+	case 1.5:
+		return 1
+	}
+	switch s { // want `switch on a floating-point value`
+	case 2:
+		return 2
+	}
+	// A zero-only case is the sentinel guard, same as == 0.
+	switch x {
+	case 0:
+		return 0
+	}
+	return -1
+}

@@ -4,6 +4,8 @@ package maporder
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -74,4 +76,54 @@ func justifiedEscape(m map[string]struct{}) string {
 		only = k //lint:allow maporder the set holds exactly one element here
 	}
 	return only
+}
+
+// Named key and value types must not hide the map from the analyzer,
+// and the maps.Keys/Values/All iterators visit in the same random
+// order as a direct range.
+
+type ostID int
+type rate float64
+type loadTable map[ostID]rate
+
+func namedTypesStillFlagged(m loadTable) (ostID, rate) {
+	var hottest ostID
+	total := rate(0)
+	for id, r := range m {
+		total += r // want `floating-point accumulation in map-iteration order`
+		if r > 0 {
+			hottest = id // want `map key id escapes the loop`
+		}
+	}
+	return hottest, total
+}
+
+func iteratorAppendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k) // want `append to out in map-iteration order`
+	}
+	return out
+}
+
+func iteratorValuesAccum(m map[string]float64) float64 {
+	total := 0.0
+	for v := range maps.Values(m) {
+		total += v // want `floating-point accumulation in map-iteration order`
+	}
+	return total
+}
+
+func iteratorAllPrint(m map[string]int) {
+	for k, v := range maps.All(m) {
+		fmt.Println(k, v) // want `fmt.Println feeds output in map-iteration order`
+	}
+}
+
+func iteratorSortedIsFine(m map[string]int) []string {
+	keys := slices.Sorted(maps.Keys(m))
+	for _, k := range keys {
+		_ = k
+	}
+	return keys
 }

@@ -29,7 +29,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	// the process advances only in strict rendezvous with the event
 	// loop (wake/ack), so at most one goroutine runs at a time and the
 	// interleaving is fixed by the event queue, not the Go scheduler.
-	//lint:allow simpurity lock-step process runtime; rendezvous keeps runs deterministic
+	//lint:allow(simpurity) lock-step process runtime; rendezvous keeps runs deterministic
 	go func() {
 		<-p.wake // wait for first resume from the event loop
 		fn(p)

@@ -327,7 +327,7 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		idx := make([]int, 0, len(h.counts))
 		for i := range h.counts {
-			//lint:allow maporder collected keys are sort.Ints-ed on the next line
+			//lint:allow(maporder) collected keys are sort.Ints-ed on the next line
 			idx = append(idx, i)
 		}
 		sort.Ints(idx)

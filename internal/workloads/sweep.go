@@ -2,7 +2,7 @@ package workloads
 
 import (
 	"ensembleio/internal/cluster"
-	//lint:allow simpurity runpool fans whole independent seeded runs; parallelism stays above the per-run sim layer
+	//lint:allow(simpurity) runpool fans whole independent seeded runs; parallelism stays above the per-run sim layer
 	"ensembleio/internal/runpool"
 )
 
@@ -57,6 +57,7 @@ func IORTransferSweepProgress(base IORConfig, ks []int, seeds []int64, workers i
 			jobs = append(jobs, job{k, seed})
 		}
 	}
+	//lint:allow(detflow) runpool fans whole independent seeded runs; each run stays on its own lock-step schedule, so worker count and scheduling cannot reach the artifacts
 	runs := runpool.MapProgress(workers, jobs, progress, func(_ int, j job) *Run {
 		cfg := base
 		cfg.TransferBytes = base.BlockBytes / int64(j.k)
@@ -124,6 +125,7 @@ func IORWriterSweepProgress(prof cluster.Profile, counts []int, totalTransfers i
 			jobs = append(jobs, job{n, seed})
 		}
 	}
+	//lint:allow(detflow) runpool fans whole independent seeded runs; each run stays on its own lock-step schedule, so worker count and scheduling cannot reach the artifacts
 	runs := runpool.MapProgress(workers, jobs, progress, func(_ int, j job) *Run {
 		per := (totalTransfers + j.writers - 1) / j.writers
 		return RunIOR(IORConfig{
