@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard ci
+.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard fastpath-ablation ci
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,28 @@ trace-smoke:
 		-trace out/smoke.spans.jsonl -traceformat spans
 	$(GO) run ./cmd/ensembletop -top 5 -spans out/smoke.spans.jsonl out/smoke.telemetry.json
 
+# fastpath-ablation: the analytic fast path (completion calendar +
+# epoch memoization) and the pure event path (-analytic=off) must
+# produce byte-identical artifacts. Regenerates a reduced figure suite
+# — the IOR ensemble behind fig 1a and the GCRM optimization ladder
+# behind fig 6, the workload whose repeated phases the memo cache
+# serves — plus a traced, telemetry-enabled gcrmio run, under both
+# settings, and diffs every artifact byte for byte.
+fastpath-ablation:
+	@rm -rf out/ablation && mkdir -p out/ablation/on out/ablation/off
+	$(GO) run ./cmd/paperfig -out out/ablation/on -fig 1a -analytic on
+	$(GO) run ./cmd/paperfig -out out/ablation/on -fig 6 -analytic on
+	$(GO) run ./cmd/paperfig -out out/ablation/off -fig 1a -analytic off
+	$(GO) run ./cmd/paperfig -out out/ablation/off -fig 6 -analytic off
+	$(GO) run ./cmd/gcrmio -tasks 2560 -aggregators 80 -analytic on \
+		-trace out/ablation/on/gcrm.trace -telemetry out/ablation/on/gcrm.telemetry.json \
+		| grep -v 'written to' > out/ablation/on/gcrm.txt
+	$(GO) run ./cmd/gcrmio -tasks 2560 -aggregators 80 -analytic off \
+		-trace out/ablation/off/gcrm.trace -telemetry out/ablation/off/gcrm.telemetry.json \
+		| grep -v 'written to' > out/ablation/off/gcrm.txt
+	diff -r out/ablation/on out/ablation/off
+	@echo "fastpath-ablation: analytic on/off artifacts byte-identical"
+
 # bench-guard: the telemetry-off hot path must stay within noise of
 # the checked-in baseline. Three repetitions of the focused benchmarks,
 # best-of compared against the baseline's best — generous time slack
@@ -85,7 +107,7 @@ trace-smoke:
 # a tight memory slack (allocs/op is nearly deterministic, so eroding
 # allocation wins trip the guard long before they show up as time).
 bench-guard:
-	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkSimulatorThroughputSingle$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkSimulatorThroughputSingle$$|BenchmarkFastForward$$' \
 		-benchmem -benchtime 1x -count 3 . | \
 		$(GO) run ./cmd/benchjson -check BENCH_ensembleio.json -slack 3.0 -memslack 1.25
 
@@ -98,4 +120,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzSpanDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzMetricsDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 
-ci: build lint lint-testdata race race-stress bench-smoke trace-smoke bench-guard fuzz-smoke
+ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation bench-guard fuzz-smoke

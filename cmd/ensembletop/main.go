@@ -60,6 +60,7 @@ func main() {
 
 	agg := aggregate(flag.Args())
 	if agg != nil {
+		printFastForward(agg)
 		printCounters(agg, *top)
 		printGauges(agg)
 		printHists(agg, *top)
@@ -152,6 +153,29 @@ func loadSnapshot(path string) *telemetry.Snapshot {
 		log.Fatalf("%s: %v", path, err)
 	}
 	return snap
+}
+
+// printFastForward reports how much of the aggregate's virtual time
+// the fabric crossed in single analytic jumps — the headline for the
+// fast path. Runs predating the sim.virtual_seconds counter (or with
+// no fabric activity) print nothing.
+func printFastForward(s *telemetry.Snapshot) {
+	var total, ff, jumps float64
+	for _, c := range s.Counters {
+		switch c.Name {
+		case "sim.virtual_seconds":
+			total = c.Value
+		case "sim.ff_seconds":
+			ff = c.Value
+		case "sim.ff_jumps":
+			jumps = c.Value
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	fmt.Printf("fast-forwarded %s of %s virtual seconds (%.1f%%) in %.0f jumps\n\n",
+		report.F(ff, 1), report.F(total, 1), 100*ff/total, jumps)
 }
 
 func printCounters(s *telemetry.Snapshot, top int) {

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	paperfig [-out DIR] [-fig 1a|1b|1c|2|4|5a|5b|5c|6|writers|all] [-seed N] [-j N]
-//	         [-faults scenario.json] [-progress] [-prof PREFIX] [-version]
+//	         [-faults scenario.json] [-progress] [-analytic on|off]
+//	         [-prof PREFIX] [-version]
 //
 // -progress renders a live stderr meter (completed runs, rate, ETA)
 // while the simulation pool drains. The meter observes only completion
@@ -43,6 +44,7 @@ var (
 	jobs     = flag.Int("j", 0, "parallel simulation workers (0 = all cores; output is identical at any -j)")
 	faults   = flag.String("faults", "", "inject the fault scenario from this JSON file into every run")
 	progress = flag.Bool("progress", false, "render a live run-completion meter on stderr")
+	analytic = cliutil.OnOff("analytic", true, "analytic fast path: on or off (off falls back to the pure event path; artifacts are byte-identical — the fastpath-ablation target diffs them)")
 	prof     = flag.String("prof", "", "write CPU/heap profiles to PREFIX.{cpu,heap}.pprof")
 	version  = flag.Bool("version", false, "print build version and exit")
 )
@@ -70,6 +72,25 @@ type runSpec struct {
 	build func() *ensembleio.Run
 }
 
+// machineFor constructs the named platform with the -analytic flag
+// applied. Artifacts are byte-identical either way; the ablation
+// target regenerates figures under both settings and diffs them.
+func machineFor(name string) ensembleio.Platform {
+	var m ensembleio.Platform
+	switch name {
+	case "franklin":
+		m = ensembleio.Franklin()
+	case "patched":
+		m = ensembleio.FranklinPatched()
+	case "jaguar":
+		m = ensembleio.Jaguar()
+	default:
+		panic("unknown machine " + name)
+	}
+	m.AnalyticOff = !*analytic
+	return m
+}
+
 func cachedRun(s runSpec) *ensembleio.Run {
 	if r, ok := runCache[s.key]; ok {
 		return r
@@ -82,7 +103,7 @@ func cachedRun(s runSpec) *ensembleio.Run {
 func iorSpec(k int, s int64) runSpec {
 	return runSpec{fmt.Sprintf("ior-%d-%d", k, s), func() *ensembleio.Run {
 		return ensembleio.RunIOR(ensembleio.IORConfig{
-			Machine: ensembleio.Franklin(), Tasks: 1024, Reps: 5,
+			Machine: machineFor("franklin"), Tasks: 1024, Reps: 5,
 			TransferBytes: 512e6 / int64(k), Faults: faultScenario, Seed: s,
 		})
 	}}
@@ -92,16 +113,7 @@ func iorRun(k int, s int64) *ensembleio.Run { return cachedRun(iorSpec(k, s)) }
 
 func madSpec(machine string) runSpec {
 	return runSpec{"mad-" + machine, func() *ensembleio.Run {
-		var m ensembleio.Platform
-		switch machine {
-		case "franklin":
-			m = ensembleio.Franklin()
-		case "patched":
-			m = ensembleio.FranklinPatched()
-		case "jaguar":
-			m = ensembleio.Jaguar()
-		}
-		return ensembleio.RunMADbench(ensembleio.MADbenchConfig{Machine: m, Faults: faultScenario, Seed: *seed})
+		return ensembleio.RunMADbench(ensembleio.MADbenchConfig{Machine: machineFor(machine), Faults: faultScenario, Seed: *seed})
 	}}
 }
 
@@ -110,7 +122,7 @@ func madRun(machine string) *ensembleio.Run { return cachedRun(madSpec(machine))
 func gcrmSpec(stage int) runSpec {
 	names := []string{"baseline", "collective", "aligned", "metaagg"}
 	return runSpec{"gcrm-" + names[stage], func() *ensembleio.Run {
-		cfg := ensembleio.GCRMConfig{Machine: ensembleio.Franklin(), Faults: faultScenario, Seed: *seed}
+		cfg := ensembleio.GCRMConfig{Machine: machineFor("franklin"), Faults: faultScenario, Seed: *seed}
 		if stage >= 1 {
 			cfg.Aggregators = 80
 		}
@@ -578,7 +590,7 @@ func figWriters(txt, csv io.Writer) (string, error) {
 	// writer count, walls averaged over 3 seeds: a writer count
 	// "saturates" when adding more writers no longer shortens the job.
 	counts := []int{16, 32, 48, 80, 160, 320, 1024}
-	pts := ensembleio.IORWriterSweepProgress(ensembleio.Franklin(), counts, 4096, 512e6,
+	pts := ensembleio.IORWriterSweepProgress(machineFor("franklin"), counts, 4096, 512e6,
 		[]int64{*seed, *seed + 1, *seed + 2}, *jobs, meter)
 	best := pts[len(pts)-1].WallSec
 	for _, p := range pts {

@@ -286,6 +286,137 @@ func TestTelemetryDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// analyticArtifacts serializes one representative run per workload
+// family — faulted, telemetry-enabled IOR; MADbench; a GCRM dump large
+// enough (640 writers > the fabric's exact threshold) to engage the
+// quantized fast path and epoch memoization — with the analytic fast
+// path on or off. Telemetry is included deliberately: the fast-forward
+// counters (sim.ff_seconds, sim.ff_jumps) are serialized, so this
+// pins the claim that both paths take identical analytic jumps.
+func analyticArtifacts(t *testing.T, analyticOff bool) []byte {
+	t.Helper()
+	const spec = `{
+	  "faults": [
+	    {"type": "flaky-ost", "ost": 1, "start_sec": 1, "period_sec": 4, "stall_sec": 1},
+	    {"type": "background-bursts", "mbps": 8000, "on_sec": 2, "off_sec": 3}
+	  ]
+	}`
+	scenario, err := ensembleio.ParseScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	m := ensembleio.Franklin()
+	m.AnalyticOff = analyticOff
+	mj := ensembleio.Jaguar()
+	mj.AnalyticOff = analyticOff
+
+	var buf bytes.Buffer
+	ior := ensembleio.RunIOR(ensembleio.IORConfig{
+		Machine: m, Tasks: 16, Reps: 2,
+		BlockBytes: 32e6, TransferBytes: 8e6,
+		Faults: scenario, Seed: 7, Telemetry: true,
+	})
+	mad := ensembleio.RunMADbench(ensembleio.MADbenchConfig{
+		Machine: mj, Tasks: 36, Matrices: 2, Seed: 11,
+	})
+	gcrm := ensembleio.RunGCRM(ensembleio.GCRMConfig{
+		Machine: m, Tasks: 640, Seed: 3,
+	})
+	for _, run := range []*ensembleio.Run{ior, mad, gcrm} {
+		fmt.Fprintf(&buf, "%s wall=%v\n", run.Name, run.Wall)
+		if err := ensembleio.SaveTrace(&buf, run); err != nil {
+			t.Fatalf("SaveTrace: %v", err)
+		}
+		if err := ensembleio.SaveTraceJSON(&buf, run); err != nil {
+			t.Fatalf("SaveTraceJSON: %v", err)
+		}
+	}
+	if err := ensembleio.SaveTelemetry(&buf, ior); err != nil {
+		t.Fatalf("SaveTelemetry: %v", err)
+	}
+	if err := ensembleio.SaveSpans(&buf, ior); err != nil {
+		t.Fatalf("SaveSpans: %v", err)
+	}
+	if err := ensembleio.SaveChromeTrace(&buf, ior); err != nil {
+		t.Fatalf("SaveChromeTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestAnalyticOnOffByteIdentical is the fast path's hard gate: the
+// analytic fabric (calendar wakes, closed-form completions, epoch
+// memoization) and the pure event-path fallback (-analytic=off) must
+// serialize byte-identical artifacts for every workload family. The
+// two implementations share one event schedule and one physics; only
+// the computation strategy differs, so any byte diff is a bug in the
+// fast path, never an accepted approximation.
+func TestAnalyticOnOffByteIdentical(t *testing.T) {
+	on := analyticArtifacts(t, false)
+	if len(on) == 0 {
+		t.Fatal("analytic runs produced no serialized artifacts; the check is vacuous")
+	}
+	off := analyticArtifacts(t, true)
+	if !bytes.Equal(on, off) {
+		i := 0
+		for i < len(on) && i < len(off) && on[i] == off[i] {
+			i++
+		}
+		t.Errorf("analytic on vs off: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(on), len(off), i)
+	}
+}
+
+// memoArtifacts runs a seeded ensemble of GCRM collective dumps — the
+// workload whose repeated per-epoch write phases the memo cache
+// replays — through RunMany at the given worker count.
+func memoArtifacts(t *testing.T, workers int, analyticOff bool) []byte {
+	t.Helper()
+	seeds := []int64{3, 5, 9}
+	runs := ensembleio.RunMany(workers, seeds, func(seed int64) *ensembleio.Run {
+		m := ensembleio.Franklin()
+		m.AnalyticOff = analyticOff
+		return ensembleio.RunGCRM(ensembleio.GCRMConfig{
+			Machine: m, Tasks: 640, Aggregators: 80, Seed: seed,
+		})
+	})
+	var buf bytes.Buffer
+	for _, run := range runs {
+		fmt.Fprintf(&buf, "%s wall=%v\n", run.Name, run.Wall)
+		if err := ensembleio.SaveTrace(&buf, run); err != nil {
+			t.Fatalf("SaveTrace: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestMemoizedRunsDeterministicAcrossWorkerCounts pins epoch
+// memoization into the determinism contract twice over: cache-hit
+// replay must be byte-identical to the cold (never-memoized,
+// -analytic=off) run, and the memoized ensemble must serialize
+// identically at -j 1 and -j 4 — each run's cache is fabric-local, so
+// worker scheduling must not be able to leak entries between runs.
+func TestMemoizedRunsDeterministicAcrossWorkerCounts(t *testing.T) {
+	memoized := memoArtifacts(t, 1, false)
+	if len(memoized) == 0 {
+		t.Fatal("memoized runs produced no serialized artifacts; the check is vacuous")
+	}
+	cold := memoArtifacts(t, 1, true)
+	if !bytes.Equal(memoized, cold) {
+		t.Error("memo cache-hit replay differs from the cold event-path run")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	parallel := memoArtifacts(t, 4, false)
+	if !bytes.Equal(memoized, parallel) {
+		i := 0
+		for i < len(memoized) && i < len(parallel) && memoized[i] == parallel[i] {
+			i++
+		}
+		t.Errorf("memoized -j 1 vs -j 4: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(memoized), len(parallel), i)
+	}
+}
+
 // TestFaultScenariosDeterministicAcrossWorkerCounts extends the
 // determinism contract to fault injection: stall windows and burst
 // schedules are pure functions of virtual time and the brownout draws

@@ -6,12 +6,38 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
 )
+
+// OnOff registers name as an on/off flag and returns a pointer that
+// tracks it. The canonical spellings are "on" and "off" (the CLIs
+// document -analytic=off); the strconv.ParseBool spellings are
+// accepted as aliases so -name=false keeps working in scripts.
+func OnOff(name string, def bool, usage string) *bool {
+	v := def
+	flag.Func(name, usage, func(s string) error {
+		switch s {
+		case "on":
+			v = true
+		case "off":
+			v = false
+		default:
+			b, err := strconv.ParseBool(s)
+			if err != nil {
+				return fmt.Errorf("want on or off")
+			}
+			v = b
+		}
+		return nil
+	})
+	return &v
+}
 
 // Version renders the build's identity from the binary's embedded
 // build info: module version plus VCS revision and dirty marker when

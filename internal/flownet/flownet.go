@@ -5,17 +5,25 @@
 // each of which divides its share among its active streams.
 //
 // Rates are allocated max-min fairly (water-filling) with optional
-// per-port weights/caps and per-stream weights/caps. To keep the event
-// count proportional to the number of transfers rather than to bytes,
-// rates are recomputed on a fixed virtual-time quantum instead of on
-// every membership change; stream completion times are interpolated
-// exactly within a quantum. The quantization error on any transfer
-// duration is bounded by one quantum.
+// per-port weights/caps and per-stream weights/caps. Every stream
+// carries an anchored closed-form progress model — remaining bytes are
+// a linear function of time between rate changes — so completions fire
+// at their exact analytic deadline regardless of population size. To
+// keep the event count proportional to the number of transfers rather
+// than to bytes, rate *recomputation* above exactThreshold is batched:
+// membership changes only mark the allocation dirty, and the water-fill
+// reruns one quantum after the first unabsorbed change. The
+// quantization error on any transfer duration is bounded by one
+// quantum, and — unlike the historical quantum-tick scheme, which
+// detected completions with up to one quantum of lag — the error now
+// lives entirely in rate reassignment: completion times themselves are
+// exact for the rates in force (see DESIGN.md §13).
 package flownet
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ensembleio/internal/sim"
 	"ensembleio/internal/telemetry"
@@ -29,33 +37,47 @@ type Config struct {
 	// Quantum is the rate-recomputation interval in virtual seconds.
 	// Zero selects a default of 50 ms.
 	Quantum sim.Duration
+	// AnalyticOff disables the analytic fast path (completion calendar
+	// and water-fill memoization) and falls back to the pure event
+	// path, which rescans every stream at each wake-up. The two paths
+	// produce byte-identical artifacts — the flag exists as an escape
+	// hatch and as the reference side of the ablation suite.
+	AnalyticOff bool
 }
 
 // Fabric is a shared bandwidth domain. Create one with New.
 //
 // Scheduling: while the active-stream population is at most
-// exactThreshold, every membership change recomputes rates and the
-// next completion is scheduled at its exact time. Beyond the
-// threshold, the fabric falls back to quantum batching — rates are
-// refreshed every Quantum and completions are detected with up to one
-// quantum of lag — keeping the cost of huge fan-outs (10k+ streams)
-// proportional to streams, not streams squared.
+// exactThreshold, every membership change recomputes rates
+// immediately. Beyond the threshold, changes only mark the allocation
+// dirty and the recompute is deferred to one quantum after the first
+// unabsorbed change, coalescing whole barrier storms into a single
+// water-fill. Completions are scheduled at their exact analytic
+// deadlines in both regimes; between membership changes the fabric's
+// single wake-up event jumps the virtual clock straight to the next
+// deadline (or deferred recompute), fast-forwarding uncontended
+// stretches in O(1) instead of ticking quanta through them.
 type Fabric struct {
-	eng       *sim.Engine
-	cap       float64
-	quantum   sim.Duration
-	ports     []*Port
-	actPorts  []*Port // ports with at least one stream (may hold stale entries until refresh)
-	flowPorts []*Port // ports with ≥1 nonzero-rate stream as of the last recompute
-	active    int     // number of active streams across all ports
-	lastMove  sim.Time
-	pokeSet   bool
-	gen       uint64 // invalidates scheduled refreshes
-	dirty     bool   // membership or caps changed since the last recompute
-	nextDur   float64
-	free      []*Stream // engine-owned stream free list (see DESIGN.md §11)
-	pokeFn    func()
-	tickFn    func(uint64)
+	eng        *sim.Engine
+	cap        float64
+	quantum    sim.Duration
+	analytic   bool
+	ports      []*Port
+	actPorts   []*Port // ports with ≥1 stream (stale empties linger until the next recompute)
+	active     int     // number of active streams across all ports
+	pokeSet    bool
+	gen        uint64    // invalidates scheduled wake-ups
+	dirty      bool      // membership or caps changed since the last recompute
+	dirtySince sim.Time  // instant dirty last flipped on; recompute lands at +quantum
+	lastWake   sim.Time  // previous refresh instant (fast-forward accounting)
+	nextID     uint64    // monotone stream ids; completion tie-break and calendar validity
+	free       []*Stream // engine-owned stream free list (see DESIGN.md §11)
+	due        []*Stream // scratch: streams completing at the current instant
+	touched    []*Port   // scratch: ports needing compaction after completions
+	cal        calendar  // analytic: pending completion deadlines, lazily invalidated
+	memo       memoCache // analytic: water-fill memoization over epoch fingerprints
+	pokeFn     func()
+	tickFn     func(uint64)
 
 	// Telemetry handles cached by Instrument; nil handles no-op, so the
 	// hot loops below pay a nil check and nothing else when disabled.
@@ -64,8 +86,9 @@ type Fabric struct {
 	telMaxStreams *telemetry.Gauge
 }
 
-// exactThreshold is the active-stream population up to which exact
-// completion scheduling is used.
+// exactThreshold is the active-stream population up to which every
+// membership change recomputes rates immediately; larger populations
+// defer the water-fill by one quantum.
 const exactThreshold = 512
 
 // New returns a fabric on the given engine.
@@ -77,9 +100,9 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	if q == 0 {
 		q = 0.05
 	}
-	f := &Fabric{eng: eng, cap: cfg.AggregateMBps, quantum: q}
+	f := &Fabric{eng: eng, cap: cfg.AggregateMBps, quantum: q, analytic: !cfg.AnalyticOff}
 	// Both scheduling closures are allocated once here and reused for
-	// every poke and refresh tick over the fabric's lifetime.
+	// every poke and wake-up over the fabric's lifetime.
 	f.pokeFn = func() {
 		f.pokeSet = false
 		f.refresh()
@@ -94,6 +117,17 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 
 // AggregateMBps returns the configured aggregate capacity.
 func (f *Fabric) AggregateMBps() float64 { return f.cap }
+
+// Analytic reports whether the analytic fast path is enabled.
+func (f *Fabric) Analytic() bool { return f.analytic }
+
+// MemoHits reports how many recomputes were served from the epoch
+// memoization cache (always zero with the fast path off).
+func (f *Fabric) MemoHits() uint64 { return f.memo.hits }
+
+// MemoMisses reports how many recomputes probed the cache and ran the
+// full water-fill (always zero with the fast path off).
+func (f *Fabric) MemoMisses() uint64 { return f.memo.misses }
 
 // Instrument attaches a telemetry sink (nil = disabled) and caches the
 // fabric's metric handles.
@@ -111,11 +145,10 @@ type Port struct {
 	weight  float64 // share weight at fabric level
 	streams []*Stream
 	share   float64 // current port allocation, MB/s
-	listed  bool    // present in fab.actPorts
+	listed  bool    // present in fab.actPorts (possibly as a stale empty)
 	maxUse  float64 // scratch: maximum useful rate this round
 	frozen  bool    // scratch: water-fill freeze mark
-	minDur  float64 // earliest completion among this port's streams, seconds from the last recompute
-	flowing bool    // at least one stream got a nonzero rate at the last recompute
+	touched bool    // scratch: has completions pending removal
 }
 
 // NewPort adds a port with the given local link capacity in MB/s
@@ -141,8 +174,9 @@ func (f *Fabric) NewWeightedPort(capMBps, weight float64) *Port {
 func (p *Port) SetCapMBps(capMBps float64) {
 	p.cap = capMBps
 	if p.listed {
-		p.fab.dirty = true
-		p.fab.poke()
+		f := p.fab
+		f.markDirty(f.eng.Now())
+		f.poke()
 	}
 }
 
@@ -165,12 +199,24 @@ type StreamOpts struct {
 // completion: once Done has been scheduled the fabric recycles the
 // object through its free list, so callers must not retain or inspect
 // a Stream after its transfer finishes.
+//
+// Progress is anchored closed-form: between rate changes, remaining
+// bytes are anchorRem - rate*(t-anchorT), and the absolute completion
+// deadline is a pure function of the anchor. The anchor moves only
+// when the assigned rate actually changes (bitwise), so an unchanged
+// allocation keeps every deadline bit-stable across recomputes — the
+// invariant that makes the analytic calendar and the pure event path
+// agree byte for byte.
 type Stream struct {
 	port      *Port
-	remaining float64 // MB
+	id        uint64   // monotone per-fabric; completion tie-break
+	anchorT   sim.Time // instant of the last rate change
+	anchorRem float64  // MB remaining at anchorT
 	rateCap   float64
 	weight    float64
-	rate      float64 // current allocation, MB/s
+	rate      float64  // current allocation, MB/s
+	deadline  sim.Time // absolute completion time at the current rate (Infinity while idle)
+	calDl     sim.Time // deadline of the latest calendar entry pushed (-1 = none)
 	joined    sim.Time
 	done      func()
 	finished  bool
@@ -180,6 +226,11 @@ type Stream struct {
 // Rate returns the stream's current fluid rate in MB/s. Exposed for
 // instrumentation and tests.
 func (s *Stream) Rate() float64 { return s.rate }
+
+// Deadline returns the stream's absolute analytic completion time at
+// its current rate (Infinity while it awaits an allocation). Exposed
+// for instrumentation and the hazard tests.
+func (s *Stream) Deadline() sim.Time { return s.deadline }
 
 // Start begins an asynchronous transfer of demandMB megabytes on the
 // port. Zero-demand streams complete immediately.
@@ -192,13 +243,14 @@ func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
 		w = 1
 	}
 	f := p.fab
+	now := f.eng.Now()
 	if demandMB == 0 {
 		// Zero-demand streams never enter a port, so they never reach
 		// the completion path that feeds the free list; allocate fresh.
 		if opts.Done != nil {
-			f.eng.At(f.eng.Now(), opts.Done)
+			f.eng.At(now, opts.Done)
 		}
-		return &Stream{port: p, rateCap: opts.RateCap, weight: w, joined: f.eng.Now(), finished: true}
+		return &Stream{port: p, rateCap: opts.RateCap, weight: w, joined: now, finished: true}
 	}
 	var s *Stream
 	if n := len(f.free); n > 0 {
@@ -208,12 +260,17 @@ func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
 	} else {
 		s = &Stream{}
 	}
+	f.nextID++
 	*s = Stream{
 		port:      p,
-		remaining: demandMB,
+		id:        f.nextID,
+		anchorT:   now,
+		anchorRem: demandMB,
 		rateCap:   opts.RateCap,
 		weight:    w,
-		joined:    f.eng.Now(),
+		deadline:  sim.Infinity,
+		calDl:     -1,
+		joined:    now,
 		done:      opts.Done,
 	}
 	p.streams = append(p.streams, s)
@@ -221,9 +278,12 @@ func (p *Port) Start(demandMB float64, opts StreamOpts) *Stream {
 		p.listed = true
 		f.actPorts = append(f.actPorts, p)
 	}
+	if f.active == 0 {
+		f.lastWake = now // idle gaps are not fast-forwarded stretches
+	}
 	f.active++
 	f.telMaxStreams.Set(float64(f.active))
-	f.dirty = true
+	f.markDirty(now)
 	f.poke()
 	return s
 }
@@ -248,9 +308,20 @@ func (p *Port) Transfer(proc *sim.Proc, demandMB float64, opts StreamOpts) sim.D
 	return proc.Now() - start
 }
 
+// markDirty notes that membership or caps changed. The first change of
+// a dirty episode pins dirtySince: in the quantized regime the
+// recompute lands exactly one quantum later, absorbing every further
+// change in between into the same water-fill.
+func (f *Fabric) markDirty(now sim.Time) {
+	if !f.dirty {
+		f.dirty = true
+		f.dirtySince = now
+	}
+}
+
 // poke schedules a refresh at the current instant, coalescing all
 // same-instant membership changes (e.g. a whole barrier's worth of
-// writes starting together) into one rate recomputation.
+// writes starting together) into one wake-up.
 func (f *Fabric) poke() {
 	if f.pokeSet {
 		return
@@ -259,81 +330,100 @@ func (f *Fabric) poke() {
 	f.eng.At(f.eng.Now(), f.pokeFn)
 }
 
-// refresh advances stream progress to now, completes finished streams,
-// recomputes rates if membership or caps changed since the last
-// recompute (unchanged populations keep their rates — the water-fill is
-// a pure function of membership and caps, so skipping it is exact, not
-// approximate), and schedules the next wake-up (exact completion time
-// for small populations, quantum tick for large ones).
+// refresh is the fabric's single wake-up handler: complete streams
+// whose deadlines have arrived, run the water-fill if it is due, and
+// schedule the next wake at min(next deadline, deferred recompute).
+// Because the wake jumps straight to the next interesting instant,
+// long uncontended stretches cost one event regardless of length.
 func (f *Fabric) refresh() {
 	f.telRefreshes.Inc()
 	now := f.eng.Now()
-	f.advance(f.lastMove, now)
-	f.lastMove = now
-	f.completeFinished(now)
+	if f.active > exactThreshold {
+		if d := now - f.lastWake; d > f.quantum {
+			// The historical quantum-tick scheme would have woken
+			// ~d/quantum times across this stretch; account the jump.
+			f.eng.NoteFastForward(float64(d))
+		}
+	}
+	f.lastWake = now
+	f.completeDue(now)
 	f.gen++
 	if f.active == 0 {
+		f.dirty = false
 		return
 	}
-	recomputed := false
-	if f.dirty {
-		f.recompute()
+	if f.dirty && (f.active <= exactThreshold || now >= f.dirtySince+f.quantum) {
+		f.recompute(now)
 		f.dirty = false
-		recomputed = true
 	}
+	wake := sim.Infinity
+	if f.dirty {
+		wake = f.dirtySince + f.quantum
+	}
+	if dl := f.minDeadline(); dl < wake {
+		wake = dl
+	}
+	if wake < sim.Infinity {
+		f.eng.AtArg(wake, f.tickFn, f.gen)
+	}
+}
 
-	next := now + f.quantum
-	if f.active <= exactThreshold {
-		if recomputed {
-			// The earliest completion was folded into nextDur as rates
-			// were assigned; no scan needed.
-			if t := now + sim.Time(f.nextDur); t < next {
-				next = t
+// completeDue fires done callbacks for streams whose analytic deadline
+// has arrived and removes them from their ports. Both paths complete
+// in (deadline, id) order — the analytic calendar pops in that order
+// natively; the event path collects and sorts — so the done events'
+// engine sequence numbers, and with them all downstream scheduling,
+// are identical either way.
+func (f *Fabric) completeDue(now sim.Time) {
+	f.due = f.due[:0]
+	if f.analytic {
+		for {
+			e, ok := f.cal.peek()
+			if !ok || e.dl > now {
+				break
 			}
-		} else {
-			// Rates are unchanged since the last recompute but the
-			// streams have advanced; rescan the flowing ports so the
-			// wake time matches the non-incremental schedule bit for
-			// bit. This only happens on a quantum tick with no
-			// membership change.
-			for _, p := range f.flowPorts {
-				for _, s := range p.streams {
-					if s.rate > 0 {
-						if t := now + sim.Time(s.remaining/s.rate); t < next {
-							next = t
-						}
-					}
+			f.cal.pop()
+			if e.valid() {
+				e.s.finished = true
+				f.due = append(f.due, e.s)
+			}
+		}
+	} else {
+		for _, p := range f.actPorts {
+			for _, s := range p.streams {
+				if s.deadline <= now {
+					s.finished = true
+					f.due = append(f.due, s)
 				}
 			}
 		}
+		due := f.due
+		sort.Slice(due, func(i, j int) bool {
+			if due[i].deadline != due[j].deadline {
+				return due[i].deadline < due[j].deadline
+			}
+			return due[i].id < due[j].id
+		})
 	}
-	f.eng.AtArg(next, f.tickFn, f.gen)
-}
-
-// completeFinished fires done callbacks for streams whose demand is
-// met and removes them from their ports. A stream within one
-// microsecond of finishing at its current rate counts as done: without
-// that slack, float rounding of now + remaining/rate can schedule a
-// zero-advance refresh loop.
-func (f *Fabric) completeFinished(now sim.Time) {
-	const eps = 1e-9
-	keptPorts := f.actPorts[:0]
-	for _, p := range f.actPorts {
+	if len(f.due) == 0 {
+		return
+	}
+	f.touched = f.touched[:0]
+	for _, s := range f.due {
+		f.active--
+		f.markDirty(now)
+		if s.done != nil {
+			f.eng.At(now, s.done)
+		}
+		if p := s.port; !p.touched {
+			p.touched = true
+			f.touched = append(f.touched, p)
+		}
+	}
+	for _, p := range f.touched {
 		kept := p.streams[:0]
 		for _, s := range p.streams {
-			if s.remaining <= eps || (s.rate > 0 && s.remaining <= s.rate*1e-6) {
-				s.finished = true
-				f.active--
-				f.dirty = true
-				if s.done != nil {
-					f.eng.At(now, s.done)
-				}
-				// The stream is out of its port and its done callback
-				// holds no reference to it; recycle the object.
-				s.done = nil
-				s.port = nil
-				f.free = append(f.free, s)
-			} else {
+			if !s.finished {
 				kept = append(kept, s)
 			}
 		}
@@ -341,36 +431,74 @@ func (f *Fabric) completeFinished(now sim.Time) {
 			p.streams[i] = nil
 		}
 		p.streams = kept
-		if len(p.streams) > 0 {
-			keptPorts = append(keptPorts, p)
-		} else {
-			p.listed = false
-			p.share = 0
-		}
+		p.touched = false
+		// Emptied ports stay listed in actPorts until the next
+		// recompute compacts them — keeping membership bookkeeping
+		// O(completions), not O(ports), on the fast path.
 	}
-	for i := len(keptPorts); i < len(f.actPorts); i++ {
-		f.actPorts[i] = nil
+	for _, s := range f.due {
+		// The stream is out of its port and its done callback holds no
+		// reference to it; recycle the object.
+		s.done = nil
+		s.port = nil
+		f.free = append(f.free, s)
 	}
-	f.actPorts = keptPorts
 }
 
-// advance integrates each stream's progress over [t0, t1) at the rates
-// assigned by the previous recompute. Only ports that received a
-// nonzero rate at that recompute can have moving streams, so the walk
-// covers the compact flowPorts list rather than every active port.
-// Streams that joined mid-interval have had rate zero and are
-// unaffected.
-func (f *Fabric) advance(t0, t1 sim.Time) {
-	dt := float64(t1 - t0)
-	if dt <= 0 {
-		return
+// minDeadline returns the earliest pending completion deadline:
+// calendar top on the fast path, full rescan on the event path.
+func (f *Fabric) minDeadline() sim.Time {
+	if f.analytic {
+		for {
+			e, ok := f.cal.peek()
+			if !ok {
+				return sim.Infinity
+			}
+			if e.valid() {
+				return e.dl
+			}
+			f.cal.pop()
+		}
 	}
-	for _, p := range f.flowPorts {
+	min := sim.Infinity
+	for _, p := range f.actPorts {
 		for _, s := range p.streams {
-			if s.rate > 0 {
-				s.remaining -= s.rate * dt
+			if s.deadline < min {
+				min = s.deadline
 			}
 		}
+	}
+	return min
+}
+
+// setRate assigns a stream's water-fill allocation. When the rate is
+// bitwise unchanged the anchor — and therefore the deadline — is left
+// untouched, so stable allocations never churn the calendar and the
+// deadline bits agree across recomputes on both paths. On a change the
+// remaining bytes are materialized at now and the deadline re-derived.
+func (f *Fabric) setRate(s *Stream, r float64, now sim.Time) {
+	if math.Float64bits(r) == math.Float64bits(s.rate) {
+		return
+	}
+	rem := s.anchorRem
+	if s.rate > 0 {
+		rem -= s.rate * float64(now-s.anchorT)
+	}
+	s.anchorT, s.anchorRem, s.rate = now, rem, r
+	if r <= 0 {
+		s.deadline = sim.Infinity
+		return
+	}
+	if rem <= 0 {
+		// Float rounding can materialize a non-positive residue just
+		// before the old deadline; complete at the current instant.
+		s.deadline = now
+	} else {
+		s.deadline = now + sim.Time(rem/r)
+	}
+	if f.analytic && math.Float64bits(float64(s.deadline)) != math.Float64bits(float64(s.calDl)) {
+		f.cal.push(calEntry{dl: s.deadline, id: s.id, s: s})
+		s.calDl = s.deadline
 	}
 }
 
@@ -378,9 +506,31 @@ func (f *Fabric) advance(t0, t1 sim.Time) {
 // the active ports using iterative freezing (no sorting, no
 // allocation): in each round the tentative fair level is computed and
 // every port whose maximum useful rate falls below its weighted share
-// is frozen there; the remainder is split by weight.
-func (f *Fabric) recompute() {
+// is frozen there; the remainder is split by weight. On the analytic
+// path the whole allocation is first probed against the epoch
+// memoization cache; a fingerprint hit replays the memoized rates
+// bit-for-bit instead of re-running the fill.
+func (f *Fabric) recompute(now sim.Time) {
 	f.telRecomputes.Inc()
+	// Compact ports that emptied since the last recompute, preserving
+	// relative order (both paths run this same pass, so actPorts —
+	// and with it water-fill iteration order — stays identical).
+	kept := f.actPorts[:0]
+	for _, p := range f.actPorts {
+		if len(p.streams) == 0 {
+			p.listed = false
+			p.share = 0
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(f.actPorts); i++ {
+		f.actPorts[i] = nil
+	}
+	f.actPorts = kept
+	if f.analytic && f.memo.apply(f, now) {
+		return
+	}
 	totalW := 0.0
 	for _, p := range f.actPorts {
 		max := p.cap
@@ -426,36 +576,25 @@ func (f *Fabric) recompute() {
 			break
 		}
 	}
-	for i := range f.flowPorts {
-		f.flowPorts[i] = nil
-	}
-	f.flowPorts = f.flowPorts[:0]
-	nextDur := math.Inf(1)
 	for _, p := range f.actPorts {
-		p.distribute()
-		if p.minDur < nextDur {
-			nextDur = p.minDur
-		}
-		if p.flowing {
-			f.flowPorts = append(f.flowPorts, p)
-		}
+		p.distribute(now)
 	}
-	f.nextDur = nextDur
+	if f.analytic {
+		f.memo.store(f)
+	}
 }
 
 // distribute water-fills the port share across its streams with the
 // same iterative-freezing scheme, honoring per-stream caps and weights.
-// As each stream's rate becomes final (at freeze, or at the level fill)
-// its completion duration is folded into p.minDur, so exact-mode
-// scheduling never needs a separate min-scan after a recompute.
-func (p *Port) distribute() {
+// Rates are assigned through setRate so anchors and deadlines move only
+// on an actual change.
+func (p *Port) distribute(now sim.Time) {
+	f := p.fab
 	totalW := 0.0
 	for _, s := range p.streams {
 		s.frozen = false
 		totalW += s.weight
 	}
-	minDur := math.Inf(1)
-	flowing := false
 	remaining := p.share
 	wRem := totalW
 	for wRem > 0 {
@@ -471,35 +610,21 @@ func (p *Port) distribute() {
 			}
 			if max <= s.weight*level {
 				s.frozen = true
-				s.rate = max
+				f.setRate(s, max, now)
 				remaining -= max
 				wRem -= s.weight
 				froze = true
-				if max > 0 {
-					flowing = true
-					if d := s.remaining / max; d < minDur {
-						minDur = d
-					}
-				}
 			}
 		}
 		if !froze {
 			for _, s := range p.streams {
 				if !s.frozen {
-					s.rate = s.weight * level
-					if s.rate > 0 {
-						flowing = true
-						if d := s.remaining / s.rate; d < minDur {
-							minDur = d
-						}
-					}
+					f.setRate(s, s.weight*level, now)
 				}
 			}
 			break
 		}
 	}
-	p.minDur = minDur
-	p.flowing = flowing
 }
 
 // ActiveStreams reports the number of in-flight streams fabric-wide.

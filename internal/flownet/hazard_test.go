@@ -1,6 +1,7 @@
 package flownet
 
 import (
+	"math"
 	"testing"
 
 	"ensembleio/internal/sim"
@@ -9,11 +10,12 @@ import (
 // TestNearFinishedStreamTerminates pins the zero-advance-refresh
 // hazard: late in a run (large virtual now), a stream's residual
 // duration remaining/rate can be smaller than one ulp of now, so the
-// exact-mode wake time now + remaining/rate rounds back to now and the
-// refresh advances nothing. completeFinished's rate-slack comparison
-// (remaining <= rate*1e-6) is what breaks the loop — this test
-// constructs exactly that case and asserts the engine finishes the
-// stream in a bounded number of events instead of spinning forever.
+// analytic deadline now + remaining/rate rounds back to exactly now.
+// completeDue's deadline <= now comparison is what breaks the loop —
+// the stream completes at the wake that assigned its rate — and this
+// test constructs exactly that case and asserts the engine finishes
+// the stream in a bounded number of events instead of spinning
+// forever.
 func TestNearFinishedStreamTerminates(t *testing.T) {
 	eng := sim.NewEngine()
 	fab := New(eng, Config{AggregateMBps: 100, Quantum: 0.05})
@@ -41,8 +43,9 @@ func TestNearFinishedStreamTerminates(t *testing.T) {
 }
 
 // TestNearFinishedStreamAmongPeers is the same hazard with a healthy
-// stream sharing the port, checking the slack completes only the
-// vanishing stream and the survivor still finishes at its proper time.
+// stream sharing the port, checking the deadline rounding completes
+// only the vanishing stream and the survivor still finishes at its
+// proper time.
 func TestNearFinishedStreamAmongPeers(t *testing.T) {
 	eng := sim.NewEngine()
 	fab := New(eng, Config{AggregateMBps: 100, Quantum: 0.05})
@@ -66,5 +69,191 @@ func TestNearFinishedStreamAmongPeers(t *testing.T) {
 	}
 	if popped := eng.EventsPopped(); popped > 100 {
 		t.Fatalf("engine needed %d events — zero-advance refresh loop", popped)
+	}
+}
+
+// sameBits reports exact float64 identity — the determinism contract
+// is bitwise, so the fast-path tests never compare with tolerances.
+func sameBits(a, b sim.Time) bool {
+	return math.Float64bits(float64(a)) == math.Float64bits(float64(b))
+}
+
+// TestNoQuantumLagAboveThreshold is the property test for the fast
+// path's headline claim: above exactThreshold, the historical scheme
+// detected completions with up to one quantum of lag, while the
+// analytic path fires them at the exact closed-form deadline. 600
+// uniform streams (> exactThreshold = 512) start at t=0; the deferred
+// water-fill lands at exactly one quantum, and every completion must
+// land at quantum + demand/fairRate to the bit — no rounding up to
+// the next quantum boundary — on both the analytic and event paths.
+func TestNoQuantumLagAboveThreshold(t *testing.T) {
+	const (
+		n       = 600
+		cap     = 10_000.0
+		demand  = 101.0
+		quantum = sim.Duration(0.05)
+	)
+	run := func(analyticOff bool) []sim.Time {
+		eng := sim.NewEngine()
+		fab := New(eng, Config{AggregateMBps: cap, Quantum: quantum, AnalyticOff: analyticOff})
+		port := fab.NewPort(0)
+		times := make([]sim.Time, 0, n)
+		for i := 0; i < n; i++ {
+			port.Start(demand, StreamOpts{Done: func() { times = append(times, eng.Now()) }})
+		}
+		eng.Run()
+		return times
+	}
+	on := run(false)
+	if len(on) != n {
+		t.Fatalf("%d of %d streams completed", len(on), n)
+	}
+	// The rate lands one quantum after the t=0 join (deferred
+	// recompute); from there the completion is purely analytic. The
+	// expectation reproduces the fabric's own float arithmetic: the
+	// fair level is cap/n and the deadline demand/level later.
+	want := sim.Time(quantum) + sim.Time(demand/(cap/n))
+	for i, got := range on {
+		if !sameBits(got, want) {
+			t.Fatalf("stream %d completed at %v, want exact analytic deadline %v (quantum lag is back)", i, got, want)
+		}
+	}
+	for i, got := range run(true) {
+		if !sameBits(got, on[i]) {
+			t.Fatalf("stream %d: analytic %v vs event path %v differ", i, on[i], got)
+		}
+	}
+}
+
+// TestFastForwardHonorsBurstBoundary pins the burst-boundary hazard:
+// with 600 long uniform streams in flight the fabric's next deadline
+// is tens of virtual seconds out, so the analytic path would love to
+// jump straight there — but a background burst arriving mid-stretch
+// is an engine event, and the engine never leaps over a queued event.
+// The burst must re-divide bandwidth within one quantum of its
+// arrival (the deferred-recompute bound), visibly slowing the bulk
+// streams, and the analytic and event paths must agree to the bit.
+func TestFastForwardHonorsBurstBoundary(t *testing.T) {
+	const (
+		ports    = 40
+		perPort  = 15
+		cap      = 10_000.0
+		demand   = 1_000.0
+		quantum  = sim.Duration(0.05)
+		burstAt  = sim.Time(7.03) // off the quantum grid, mid-stretch
+		burstMB  = 40_000.0
+		preProbe = burstAt - 0.01
+	)
+	run := func(analyticOff, withBurst bool) (bulkDone sim.Time, preRate, postRate float64) {
+		eng := sim.NewEngine()
+		fab := New(eng, Config{AggregateMBps: cap, Quantum: quantum, AnalyticOff: analyticOff})
+		var watch *Stream
+		for p := 0; p < ports; p++ {
+			port := fab.NewPort(2000)
+			for i := 0; i < perPort; i++ {
+				s := port.Start(demand, StreamOpts{Done: func() {
+					if t := eng.Now(); t > bulkDone {
+						bulkDone = t
+					}
+				}})
+				if watch == nil {
+					watch = s
+				}
+			}
+		}
+		if withBurst {
+			bg := fab.NewWeightedPort(0, 8)
+			eng.At(burstAt, func() { bg.Start(burstMB, StreamOpts{}) })
+		}
+		eng.At(preProbe, func() { preRate = watch.Rate() })
+		// One quantum after the burst instant the deferred recompute
+		// must have landed; probe just past it.
+		eng.At(burstAt+sim.Time(quantum)+0.001, func() { postRate = watch.Rate() })
+		eng.Run()
+		return bulkDone, preRate, postRate
+	}
+
+	quietDone, _, _ := run(false, false)
+	burstDone, pre, post := run(false, true)
+	if !(burstDone > quietDone) {
+		t.Fatalf("burst had no effect on the bulk makespan (%v vs %v): the fabric jumped past the burst boundary", burstDone, quietDone)
+	}
+	if !(post < pre) {
+		t.Fatalf("bulk rate did not drop within one quantum of the burst (pre %.3f, post %.3f)", pre, post)
+	}
+	offDone, offPre, offPost := run(true, true)
+	if !sameBits(burstDone, offDone) ||
+		math.Float64bits(pre) != math.Float64bits(offPre) ||
+		math.Float64bits(post) != math.Float64bits(offPost) {
+		t.Fatalf("analytic vs event path diverge across the burst: done %v vs %v, rates (%.6f,%.6f) vs (%.6f,%.6f)",
+			burstDone, offDone, pre, post, offPre, offPost)
+	}
+}
+
+// TestFastForwardHonorsCapEdge is the fault-window flavor of the same
+// hazard: a degraded-link edge (SetCapMBps, the hook fault injection
+// drives) arriving while the fabric is deep in an uncontended stretch
+// must take effect within one quantum — the wake generation counter
+// invalidates the far-future deadline wake — and must produce
+// bit-identical schedules on both paths.
+func TestFastForwardHonorsCapEdge(t *testing.T) {
+	const (
+		ports   = 40
+		perPort = 15
+		cap     = 10_000.0
+		demand  = 1_000.0
+		quantum = sim.Duration(0.05)
+		edgeAt  = sim.Time(3.21)
+	)
+	run := func(analyticOff bool) (victimDone, bulkDone sim.Time, postRate float64) {
+		eng := sim.NewEngine()
+		fab := New(eng, Config{AggregateMBps: cap, Quantum: quantum, AnalyticOff: analyticOff})
+		var degraded *Port
+		var watch *Stream
+		for p := 0; p < ports; p++ {
+			port := fab.NewPort(2000)
+			if p == 0 {
+				// The whole first port degrades; its streams count as
+				// victims, every other port's as healthy bulk.
+				degraded = port
+				for i := 0; i < perPort; i++ {
+					s := port.Start(demand, StreamOpts{Done: func() {
+						if t := eng.Now(); t > victimDone {
+							victimDone = t
+						}
+					}})
+					if watch == nil {
+						watch = s
+					}
+				}
+				continue
+			}
+			for i := 0; i < perPort; i++ {
+				port.Start(demand, StreamOpts{Done: func() {
+					if t := eng.Now(); t > bulkDone {
+						bulkDone = t
+					}
+				}})
+			}
+		}
+		eng.At(edgeAt, func() { degraded.SetCapMBps(5) })
+		eng.At(edgeAt+sim.Time(quantum)+0.001, func() { postRate = watch.Rate() })
+		eng.Run()
+		return victimDone, bulkDone, postRate
+	}
+	victim, bulk, post := run(false)
+	if victim <= bulk {
+		t.Fatalf("degraded port finished at %v, not after the healthy bulk at %v: the cap edge was jumped over", victim, bulk)
+	}
+	// 15 streams share a 5 MB/s port: within one quantum of the edge
+	// each must be pinned at ~1/3 MB/s, far below any healthy share.
+	if post > 1 {
+		t.Fatalf("victim stream still at %.3f MB/s one quantum past the cap edge", post)
+	}
+	offVictim, offBulk, offPost := run(true)
+	if !sameBits(victim, offVictim) || !sameBits(bulk, offBulk) ||
+		math.Float64bits(post) != math.Float64bits(offPost) {
+		t.Fatalf("analytic vs event path diverge across the cap edge: victim %v vs %v, bulk %v vs %v",
+			victim, offVictim, bulk, offBulk)
 	}
 }

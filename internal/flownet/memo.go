@@ -1,0 +1,136 @@
+package flownet
+
+import (
+	"math"
+
+	"ensembleio/internal/sim"
+)
+
+// Epoch memoization: the two-level water-fill is a pure function of
+// the fabric capacity (fixed per fabric) and the ordered sequence of
+// port and stream parameters — caps and weights; remaining bytes do
+// not enter the allocation. A repeated phase (GCRM's uniform writer
+// storms, IOR's per-transfer loops) therefore reproduces the same
+// allocation exactly, and the fabric can replay the memoized rates
+// bit-for-bit instead of re-running the iterative freezing.
+//
+// The fingerprint is the exact bit pattern of every input in
+// iteration order, so a hit is a proof of input identity — there is
+// no hashing and no collision unsoundness: a near-miss epoch in which
+// even one stream differs by one ulp fails the comparison and runs
+// the full fill. The flownet layer draws no RNG variates, so the
+// fingerprint's recorded draw count is identically zero and replay
+// advances no generator state (see DESIGN.md §13).
+//
+// The cache is deliberately map-free: a small MRU-ordered slice,
+// scanned linearly with early-exit comparison. That keeps probe cost
+// bounded, the eviction order deterministic, and the whole structure
+// invisible to serialized artifacts — memoization is simulator-
+// internal state, never observable output (the simpurity/detflow
+// analyzers rely on there being no map iteration here).
+
+// memoCap bounds the number of remembered epoch fingerprints. Repeated
+// phases alternate among a handful of population shapes (storm, drain
+// tail, background-only), so a small cache captures the hits while
+// keeping a miss's probe cost at a few early-exit comparisons.
+const memoCap = 8
+
+// memoEntry is one memoized allocation: the fingerprint key and the
+// positional outputs (per-port shares, per-stream rates flattened in
+// port order).
+type memoEntry struct {
+	key    []uint64
+	shares []float64
+	rates  []float64
+}
+
+// memoCache is an MRU-ordered, fixed-capacity, map-free cache.
+type memoCache struct {
+	entries      []*memoEntry
+	hits, misses uint64
+}
+
+// matches reports whether the entry's fingerprint equals the fabric's
+// current population, comparing the live structure against the stored
+// key without materializing a candidate key. Layout per entry:
+//
+//	nPorts, then per port: bits(cap), bits(weight), nStreams,
+//	then per stream: bits(rateCap), bits(weight)
+func (e *memoEntry) matches(f *Fabric) bool {
+	k := e.key
+	if len(k) == 0 || k[0] != uint64(len(f.actPorts)) {
+		return false
+	}
+	i := 1
+	for _, p := range f.actPorts {
+		if i+3 > len(k) ||
+			k[i] != math.Float64bits(p.cap) ||
+			k[i+1] != math.Float64bits(p.weight) ||
+			k[i+2] != uint64(len(p.streams)) {
+			return false
+		}
+		i += 3
+		for _, s := range p.streams {
+			if i+2 > len(k) ||
+				k[i] != math.Float64bits(s.rateCap) ||
+				k[i+1] != math.Float64bits(s.weight) {
+				return false
+			}
+			i += 2
+		}
+	}
+	return i == len(k)
+}
+
+// apply probes the cache for the fabric's current fingerprint and, on
+// a hit, replays the memoized allocation through setRate — the same
+// assignment path the full fill uses, so anchors, deadlines and the
+// calendar behave identically to a cold recompute.
+func (m *memoCache) apply(f *Fabric, now sim.Time) bool {
+	for idx, e := range m.entries {
+		if !e.matches(f) {
+			continue
+		}
+		m.hits++
+		// Move-to-front keeps eviction MRU without any clock state.
+		copy(m.entries[1:idx+1], m.entries[:idx])
+		m.entries[0] = e
+		j := 0
+		for pi, p := range f.actPorts {
+			p.share = e.shares[pi]
+			for _, s := range p.streams {
+				f.setRate(s, e.rates[j], now)
+				j++
+			}
+		}
+		return true
+	}
+	m.misses++
+	return false
+}
+
+// store memoizes the allocation the fill just produced, evicting the
+// least recently used fingerprint once the cache is full.
+func (m *memoCache) store(f *Fabric) {
+	var e *memoEntry
+	if len(m.entries) < memoCap {
+		e = &memoEntry{}
+		m.entries = append(m.entries, e)
+	} else {
+		e = m.entries[memoCap-1]
+		e.key = e.key[:0]
+		e.shares = e.shares[:0]
+		e.rates = e.rates[:0]
+	}
+	copy(m.entries[1:], m.entries[:len(m.entries)-1])
+	m.entries[0] = e
+	e.key = append(e.key, uint64(len(f.actPorts)))
+	for _, p := range f.actPorts {
+		e.key = append(e.key, math.Float64bits(p.cap), math.Float64bits(p.weight), uint64(len(p.streams)))
+		e.shares = append(e.shares, p.share)
+		for _, s := range p.streams {
+			e.key = append(e.key, math.Float64bits(s.rateCap), math.Float64bits(s.weight))
+			e.rates = append(e.rates, s.rate)
+		}
+	}
+}

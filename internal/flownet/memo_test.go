@@ -1,0 +1,123 @@
+package flownet
+
+import (
+	"math"
+	"testing"
+
+	"ensembleio/internal/sim"
+)
+
+// memoPhase starts perPort uniform streams on each port (all the same
+// demand and weight, rateCap as given per stream index), drains the
+// engine, and returns the phase's completion instant. Uniform streams
+// finish together, so each phase costs exactly one water-fill.
+func memoPhase(eng *sim.Engine, ports []*Port, perPort int, rateCap func(i int) float64) sim.Time {
+	var done sim.Time
+	i := 0
+	for _, p := range ports {
+		for s := 0; s < perPort; s++ {
+			p.Start(100, StreamOpts{RateCap: rateCap(i), Done: func() {
+				if t := eng.Now(); t > done {
+					done = t
+				}
+			}})
+			i++
+		}
+	}
+	eng.Run()
+	return done
+}
+
+// TestMemoHitsOnRepeatedPhases pins epoch memoization end to end: a
+// repeated identical phase (same ports, same ordered stream caps and
+// weights — the fingerprint; demands are irrelevant to the fill) is
+// served from the cache, and the replayed allocation reproduces the
+// cold phase's completion schedule to the bit.
+func TestMemoHitsOnRepeatedPhases(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := New(eng, Config{AggregateMBps: 5000, Quantum: 0.05})
+	ports := make([]*Port, 4)
+	for i := range ports {
+		ports[i] = fab.NewPort(2000)
+	}
+	uncapped := func(int) float64 { return 0 }
+
+	start1 := eng.Now()
+	end1 := memoPhase(eng, ports, 8, uncapped)
+	if hits, misses := fab.MemoHits(), fab.MemoMisses(); hits != 0 || misses != 1 {
+		t.Fatalf("cold phase: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	start2 := eng.Now()
+	end2 := memoPhase(eng, ports, 8, uncapped)
+	if hits := fab.MemoHits(); hits != 1 {
+		t.Fatalf("repeated phase: hits=%d, want 1 (fingerprint failed to match an identical epoch)", hits)
+	}
+	d1, d2 := end1-start1, end2-start2
+	if math.Float64bits(float64(d1)) != math.Float64bits(float64(d2)) {
+		t.Fatalf("memoized replay duration %v differs from cold run %v", d2, d1)
+	}
+}
+
+// TestMemoPoisonedFingerprint is the negative control: a phase in
+// which a single stream's rate cap differs by one ulp must not hit
+// the cache — the fingerprint comparison is exact, so a near-miss
+// epoch runs the full water-fill. The poisoned cap is non-binding
+// (far above the fair share), so the recomputed allocation, and with
+// it the completion schedule, still matches the clean phase bitwise —
+// the cache declines the hit without changing physics.
+func TestMemoPoisonedFingerprint(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := New(eng, Config{AggregateMBps: 5000, Quantum: 0.05})
+	ports := make([]*Port, 4)
+	for i := range ports {
+		ports[i] = fab.NewPort(2000)
+	}
+	const cap = 1000.0 // fair share is 156.25 MB/s; never binds
+	clean := func(int) float64 { return cap }
+	poisoned := func(i int) float64 {
+		if i == 17 {
+			return math.Nextafter(cap, 2*cap)
+		}
+		return cap
+	}
+
+	start1 := eng.Now()
+	end1 := memoPhase(eng, ports, 8, clean)
+	start2 := eng.Now()
+	end2 := memoPhase(eng, ports, 8, poisoned)
+	if hits, misses := fab.MemoHits(), fab.MemoMisses(); hits != 0 || misses != 2 {
+		t.Fatalf("poisoned phase: hits=%d misses=%d, want 0/2 (a one-ulp fingerprint difference must miss)", hits, misses)
+	}
+	d1, d2 := end1-start1, end2-start2
+	if math.Float64bits(float64(d1)) != math.Float64bits(float64(d2)) {
+		t.Fatalf("poisoned phase duration %v differs from clean %v (the miss should recompute identical rates)", d2, d1)
+	}
+	// And the clean fingerprint is still cached: a third, clean phase
+	// hits even after the poisoned epoch was stored in front of it.
+	memoPhase(eng, ports, 8, clean)
+	if hits := fab.MemoHits(); hits != 1 {
+		t.Fatalf("clean phase after poison: hits=%d, want 1", hits)
+	}
+}
+
+// TestMemoDisabledOnEventPath pins the escape hatch: with AnalyticOff
+// the cache is never probed or filled, so both counters stay zero and
+// the schedule still matches the analytic fabric bit for bit (the
+// workload-level byte-identity suite covers the latter at scale).
+func TestMemoDisabledOnEventPath(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := New(eng, Config{AggregateMBps: 5000, Quantum: 0.05, AnalyticOff: true})
+	ports := make([]*Port, 4)
+	for i := range ports {
+		ports[i] = fab.NewPort(2000)
+	}
+	uncapped := func(int) float64 { return 0 }
+	memoPhase(eng, ports, 8, uncapped)
+	memoPhase(eng, ports, 8, uncapped)
+	if hits, misses := fab.MemoHits(), fab.MemoMisses(); hits != 0 || misses != 0 {
+		t.Fatalf("event path touched the memo cache: hits=%d misses=%d", hits, misses)
+	}
+	if fab.Analytic() {
+		t.Fatal("AnalyticOff fabric reports Analytic() == true")
+	}
+}

@@ -186,10 +186,18 @@ func (g *graph) scanDecl(n *node, decl *ast.FuncDecl) {
 					n.addDirect(bit, posn, desc)
 				}
 			case *types.TypeName:
-				// sync.Pool recycles in scheduler order; any use of
-				// the type is the fact.
-				if o.Pkg() != nil && o.Pkg().Path() == "sync" && o.Name() == "Pool" {
-					n.addDirect(factSched, fset.Position(v.Pos()), "sync.Pool reuse order depends on the Go scheduler")
+				// sync.Pool recycles in scheduler order, and sync.Map's
+				// internals are contention-dependent; any use of either
+				// type is the fact. (Simulator caches — flownet's epoch
+				// memoization is the template — key on plain slices with
+				// deterministic eviction instead.)
+				if o.Pkg() != nil && o.Pkg().Path() == "sync" {
+					switch o.Name() {
+					case "Pool":
+						n.addDirect(factSched, fset.Position(v.Pos()), "sync.Pool reuse order depends on the Go scheduler")
+					case "Map":
+						n.addDirect(factSched, fset.Position(v.Pos()), "sync.Map behavior is contention- and scheduler-dependent")
+					}
 				}
 			}
 		}

@@ -58,6 +58,13 @@ func Fanout() {
 	helpers.Fan(func() {}) // want `call to .*helpers\.Fan launders a goroutine launch into simulator code`
 }
 
+// Memo launders a sync.Map-backed cache into the simulator: memo
+// caches on this side must be map-free (flownet's epoch memoization
+// is the template).
+func Memo() int {
+	return helpers.Memoized("epoch", func() int { return 1 }) // want `call to .*helpers\.Memoized launders a scheduler-sensitive value into simulator code`
+}
+
 // Clean calls are never findings.
 func Clean(a, b int) int {
 	return helpers.Pure(a, b)

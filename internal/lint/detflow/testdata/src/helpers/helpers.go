@@ -6,6 +6,7 @@ package helpers
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"ensembleio/internal/lint/detflow/testdata/src/hclock"
@@ -78,6 +79,20 @@ func Fan(f func()) {
 	done := make(chan struct{})
 	go func() { f(); close(done) }()
 	<-done
+}
+
+// Memoized caches f's result in a sync.Map — the scheduler-shaped
+// cache a simulator must not adopt (its memo caches key on plain
+// slices with deterministic eviction). The fact is scheduler
+// sensitivity, carried by any use of the type.
+func Memoized(k string, f func() int) int {
+	var cache sync.Map
+	if v, ok := cache.Load(k); ok {
+		return v.(int)
+	}
+	v := f()
+	cache.Store(k, v)
+	return v
 }
 
 // Pure is determinism-clean; calls to it are never findings.

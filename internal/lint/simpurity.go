@@ -13,15 +13,19 @@ import (
 // scheduler's configuration, or scheduler-ordered object recycling
 // (sync.Pool hands objects back in an order that depends on which P
 // freed them — pooled state must live on engine-owned free lists, see
-// DESIGN.md §11).
+// DESIGN.md §11 — and sync.Map's internals are contention-dependent,
+// so simulator caches such as flownet's epoch memoization must key on
+// plain deterministic structures instead, see DESIGN.md §13).
 var SimPurity = &Analyzer{
 	Name: "simpurity",
 	Doc: `forbid wall-clock time, global math/rand, scheduler-sensitive
-runtime calls, sync.Pool, goroutine launches, and internal/runpool
-imports in simulator packages; use the sim.Engine virtual clock
-(sim.Time) and the engine's seeded *sim.RNG, recycle objects through
-engine-owned free lists, and fan only whole independent runs in
-parallel — above the sim layer, via internal/runpool`,
+runtime calls, sync.Pool, sync.Map, goroutine launches, and
+internal/runpool imports in simulator packages; use the sim.Engine
+virtual clock (sim.Time) and the engine's seeded *sim.RNG, recycle
+objects through engine-owned free lists, key caches on deterministic
+slices (the flownet memo cache is the template), and fan only whole
+independent runs in parallel — above the sim layer, via
+internal/runpool`,
 	Match: prefixMatcher(
 		"ensembleio/internal/sim",
 		"ensembleio/internal/mpi",
@@ -115,6 +119,14 @@ func runSimPurity(pass *Pass) {
 				// lives on engine-owned free lists instead.
 				if name == "Pool" {
 					pass.Reportf(sel.Pos(), "sync.Pool in simulator code; reuse order depends on the Go scheduler — recycle through an engine-owned free list (DESIGN.md §11)")
+				}
+				// sync.Map is likewise scheduler-shaped: its internals
+				// are contention-dependent and Range order is
+				// unspecified. Simulator-internal caches — flownet's
+				// epoch memoization is the template — key on plain
+				// slices with deterministic eviction instead.
+				if name == "Map" {
+					pass.Reportf(sel.Pos(), "sync.Map in simulator code; its behavior is contention- and scheduler-dependent — key simulator caches on deterministic slices (DESIGN.md §13)")
 				}
 			}
 			return true

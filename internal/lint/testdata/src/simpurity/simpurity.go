@@ -29,6 +29,15 @@ func pooled() {
 	_ = q.Get()
 }
 
+// A sync.Map-keyed memo cache is the other scheduler-shaped cache
+// trap: simulator memoization must key on deterministic slices (the
+// flownet epoch memo cache is the sanctioned shape).
+func memoCached() {
+	var cache sync.Map // want `sync.Map in simulator code`
+	cache.Store("epoch", 1)
+	_, _ = cache.Load("epoch")
+}
+
 func goroutines() {
 	go func() {}() // want `goroutine launch in simulator code`
 	done := make(chan struct{})

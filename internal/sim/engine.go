@@ -120,6 +120,15 @@ type Engine struct {
 	// Telemetry folds them into the run snapshot via the accessors.
 	popped  uint64
 	maxHeap int
+
+	// Fast-forward accounting: virtual seconds crossed in single
+	// analytic jumps (stretches a quantum-ticking scheduler would have
+	// woken through repeatedly), reported by the fluid layers via
+	// NoteFastForward. Pure bookkeeping — it never influences
+	// scheduling — and a pure function of the simulated run, so
+	// telemetry may serialize it.
+	ffSeconds float64
+	ffJumps   uint64
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -212,3 +221,21 @@ func (e *Engine) EventsScheduled() uint64 { return e.seq }
 
 // HeapHighWater reports the maximum event-queue length observed.
 func (e *Engine) HeapHighWater() int { return e.maxHeap }
+
+// NoteFastForward records d virtual seconds traversed in one analytic
+// jump: a stretch with no membership change that the simulator crossed
+// with a single wake-up instead of ticking quanta through it. The
+// fluid layers call it; workloads fold the totals into telemetry so
+// the fast-forward win is observable per run (cmd/ensembletop prints
+// the ratio against total virtual seconds).
+func (e *Engine) NoteFastForward(d float64) {
+	e.ffSeconds += d
+	e.ffJumps++
+}
+
+// FastForwardSeconds reports the total virtual seconds crossed in
+// analytic jumps.
+func (e *Engine) FastForwardSeconds() float64 { return e.ffSeconds }
+
+// FastForwardJumps reports how many analytic jumps were taken.
+func (e *Engine) FastForwardJumps() uint64 { return e.ffJumps }
