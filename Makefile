@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard fastpath-ablation ci
+.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard fastpath-ablation dsl-golden ci
 
 build:
 	$(GO) build ./...
@@ -111,6 +111,21 @@ bench-guard:
 		-benchmem -benchtime 1x -count 3 . | \
 		$(GO) run ./cmd/benchjson -check BENCH_ensembleio.json -slack 3.0 -memslack 1.25
 
+# dsl-golden: the workload DSL's full proof chain, uncached — the
+# spec ports of IOR/MADbench/GCRM serialize byte-identical artifacts
+# to the hand-coded runners, the corpus compiles and stays canonical,
+# the golden digests of every corpus run still match, and the seeded
+# spec generator passes the determinism gates (-j 1 vs -j 4, analytic
+# on vs off). Ends with a wlrun smoke: spec in, artifacts out.
+dsl-golden:
+	$(GO) test -count=1 ./internal/wldsl
+	$(GO) test -count=1 -run 'TestWorkloadDSLGolden|TestGeneratedSpecsDeterministic' .
+	@rm -rf out/wlrun && mkdir -p out/wlrun
+	$(GO) run ./cmd/wlrun -spec testdata/scenarios/workloads/checkpoint-bursty.json \
+		-faults testdata/scenarios/flaky-ost.json -runs 2 -j 2 -out out/wlrun
+	@ls out/wlrun >/dev/null
+	@echo "dsl-golden: spec ports byte-identical, corpus canonical, goldens stable"
+
 # One target per invocation: go test allows a single -fuzz pattern
 # match per run.
 fuzz-smoke:
@@ -119,5 +134,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzProfileJSON$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzSpanDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzMetricsDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
+	$(GO) test -run='^$$' -fuzz='FuzzSpecDecode$$' -fuzztime=$(FUZZTIME) ./internal/wldsl
 
-ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation bench-guard fuzz-smoke
+ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation dsl-golden bench-guard fuzz-smoke

@@ -1,0 +1,271 @@
+// Command wlrun compiles and runs a declarative workload spec
+// (internal/wldsl) on the simulated machine: spec in, artifacts out.
+// It is the generic front end to the same engine the dedicated
+// workload CLIs (iorbench, madbench, gcrmio) drive — any spec from
+// testdata/scenarios/workloads/, or one you write, runs with the
+// standard runtime knobs.
+//
+// Usage:
+//
+//	wlrun -spec FILE [-machine franklin|franklin-patched|jaguar]
+//	      [-seed N] [-runs N] [-j N] [-faults scenario.json]
+//	      [-analytic on|off] [-out DIR]
+//	      [-trace FILE] [-traceformat binary|jsonl|chrome|spans]
+//	      [-telemetry FILE] [-prof PREFIX] [-version]
+//	wlrun -spec FILE -validate
+//	wlrun -spec FILE -canonicalize
+//	wlrun -gen SEED
+//
+// -runs N executes N seeded runs (seeds seed, seed+1, ...) on up to
+// -j workers with an ordered reduction; artifacts land in -out as
+// NAME-seedS.trace.bin (plus .telemetry.json / .spans.jsonl when
+// telemetry is on). -validate checks the spec and prints its compiled
+// footprint without running. -canonicalize rewrites the spec file in
+// the canonical encoding. -gen prints the seeded generator's spec for
+// that seed to stdout (the corpus families the determinism suite
+// fuzzes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ensembleio"
+	"ensembleio/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wlrun: ")
+	var (
+		specPath = flag.String("spec", "", "workload spec (JSON)")
+		machine  = flag.String("machine", "franklin", "platform profile: franklin, franklin-patched, jaguar")
+		seed     = flag.Int64("seed", 1, "base run seed (vary to model run-to-run conditions)")
+		runs     = flag.Int("runs", 1, "number of seeded runs (seeds seed..seed+runs-1)")
+		workers  = flag.Int("j", 1, "max parallel runs (0 = all cores); results are identical at any value")
+		scenario = flag.String("faults", "", "inject the fault scenario from this JSON file")
+		analytic = cliutil.OnOff("analytic", true, "analytic fast path: on or off (off falls back to the pure event path; results are byte-identical)")
+		outDir   = flag.String("out", "", "write per-run artifacts into this directory")
+		trace    = flag.String("trace", "", "write the first run's trace to this file")
+		format   = flag.String("traceformat", "binary", "trace encoding: binary, jsonl, chrome, spans (chrome/spans need telemetry)")
+		telOut   = flag.String("telemetry", "", "write the first run's telemetry metric snapshot (JSON) to this file")
+		validate = flag.Bool("validate", false, "validate and print the compiled footprint, don't run")
+		canon    = flag.Bool("canonicalize", false, "rewrite -spec in the canonical encoding and exit")
+		genSeed  = flag.Int64("gen", -1, "print the generated spec for this seed to stdout and exit")
+		profOut  = flag.String("prof", "", "write wall-clock CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		version  = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	// A stray positional argument is always a mangled invocation
+	// (e.g. a value-taking flag that swallowed the next flag name);
+	// running with half the flags silently applied would mislead.
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected argument %q (all inputs are flags; check that value-taking flags like -telemetry FILE got their value)", flag.Arg(0))
+	}
+	if *version {
+		fmt.Println(cliutil.Version())
+		return
+	}
+	if *genSeed >= 0 {
+		if err := ensembleio.EncodeWorkload(os.Stdout, ensembleio.GenerateWorkload(*genSeed)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *specPath == "" {
+		log.Fatal("-spec is required (or -gen SEED)")
+	}
+	spec, err := ensembleio.LoadWorkload(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *canon {
+		if err := rewriteCanonical(*specPath, spec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s canonicalized\n", *specPath)
+		return
+	}
+	prog, err := ensembleio.CompileWorkload(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *validate {
+		fmt.Printf("%s: valid\n", *specPath)
+		fmt.Printf("  tasks: %d   ranks: %d\n", spec.Tasks, prog.Ranks())
+		fmt.Printf("  trace events: ~%d\n", prog.Events())
+		fmt.Printf("  logical bytes: %d (%.0f MB)\n", prog.TotalBytes(), float64(prog.TotalBytes())/1e6)
+		return
+	}
+
+	stopProf, err := cliutil.StartProfiles(*profOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+	switch *format {
+	case "binary", "jsonl", "chrome", "spans":
+	default:
+		log.Fatalf("unknown -traceformat %q (want binary, jsonl, chrome, or spans)", *format)
+	}
+	prof, err := platform(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof.AnalyticOff = !*analytic
+	fs, err := loadScenario(*scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withTel := *telOut != "" || *outDir != "" || *format == "chrome" || *format == "spans"
+
+	if *runs < 1 {
+		log.Fatalf("-runs %d: want at least 1", *runs)
+	}
+	seeds := make([]int64, *runs)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	results := ensembleio.RunMany(*workers, seeds, func(s int64) *ensembleio.Run {
+		return prog.Run(ensembleio.WorkloadRunConfig{
+			Machine: prof, Seed: s, Faults: fs, Telemetry: withTel,
+		})
+	})
+
+	fmt.Printf("%s on %s: %d tasks (%d ranks), %d run(s)\n",
+		spec.Name, *machine, spec.Tasks, prog.Ranks(), *runs)
+	if fs != nil {
+		fmt.Printf("faults: %s\n", fs)
+	}
+	for i, run := range results {
+		fmt.Printf("  seed %-4d wall %8.1f s   aggregate %8.0f MB/s\n",
+			seeds[i], float64(run.Wall), run.AggregateMBps())
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, run := range results {
+			if err := writeArtifacts(*outDir, spec.Name, seeds[i], run, *format); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("artifacts written to %s\n", *outDir)
+	}
+	if *trace != "" {
+		if err := saveTrace(*trace, results[0], *format); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%s)\n", *trace, *format)
+	}
+	if *telOut != "" {
+		if err := saveTelemetry(*telOut, results[0]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry written to %s\n", *telOut)
+	}
+}
+
+func platform(name string) (ensembleio.Platform, error) {
+	switch name {
+	case "franklin":
+		return ensembleio.Franklin(), nil
+	case "franklin-patched":
+		return ensembleio.FranklinPatched(), nil
+	case "jaguar":
+		return ensembleio.Jaguar(), nil
+	}
+	return ensembleio.Platform{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func loadScenario(path string) (*ensembleio.Scenario, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return ensembleio.LoadScenario(path)
+}
+
+func rewriteCanonical(path string, spec *ensembleio.WorkloadSpec) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.EncodeWorkload(f, spec)
+}
+
+// writeArtifacts saves one run's trace (in the selected format) plus
+// its telemetry snapshot and span log.
+func writeArtifacts(dir, name string, seed int64, run *ensembleio.Run, format string) error {
+	ext := map[string]string{"binary": "trace.bin", "jsonl": "trace.jsonl",
+		"chrome": "chrome.json", "spans": "spans.jsonl"}[format]
+	base := fmt.Sprintf("%s-seed%d", name, seed)
+	if err := saveTrace(filepath.Join(dir, base+"."+ext), run, format); err != nil {
+		return err
+	}
+	if err := saveTelemetry(filepath.Join(dir, base+".telemetry.json"), run); err != nil {
+		return err
+	}
+	return saveSpans(filepath.Join(dir, base+".spans.jsonl"), run)
+}
+
+func saveTrace(path string, run *ensembleio.Run, format string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// Write errors can surface at close; a truncated trace must not
+	// pass silently.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	switch format {
+	case "jsonl":
+		return ensembleio.SaveTraceJSON(f, run)
+	case "chrome":
+		return ensembleio.SaveChromeTrace(f, run)
+	case "spans":
+		return ensembleio.SaveSpans(f, run)
+	}
+	return ensembleio.SaveTrace(f, run)
+}
+
+func saveTelemetry(path string, run *ensembleio.Run) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.SaveTelemetry(f, run)
+}
+
+func saveSpans(path string, run *ensembleio.Run) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return ensembleio.SaveSpans(f, run)
+}

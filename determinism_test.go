@@ -439,3 +439,80 @@ func TestFaultScenariosDeterministicAcrossWorkerCounts(t *testing.T) {
 			len(sequential), len(parallel), i)
 	}
 }
+
+// generatedSpecArtifacts pushes a batch of seeded generator specs
+// (internal/wldsl.Generate — the fuzz side of the workload DSL)
+// through the spec interpreter via RunMany at the given worker count
+// and fast-path setting, and serializes every artifact each run
+// produces. The programs are compiled once, up front: compilation is
+// pure, so sharing a Program between runs must also be safe.
+func generatedSpecArtifacts(t *testing.T, workers int, analyticOff bool) []byte {
+	t.Helper()
+	seeds := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	progs := make([]*ensembleio.WorkloadProgram, len(seeds))
+	for i, seed := range seeds {
+		spec := ensembleio.GenerateWorkload(seed)
+		prog, err := ensembleio.CompileWorkload(spec)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, spec.Name, err)
+		}
+		progs[i] = prog
+	}
+	m := ensembleio.Franklin()
+	m.AnalyticOff = analyticOff
+	runs := ensembleio.RunMany(workers, seeds, func(seed int64) *ensembleio.Run {
+		return progs[seed].Run(ensembleio.WorkloadRunConfig{
+			Machine: m, Seed: 100 + seed, Telemetry: true,
+		})
+	})
+	var buf bytes.Buffer
+	for _, run := range runs {
+		fmt.Fprintf(&buf, "%s wall=%v\n", run.Name, run.Wall)
+		if err := ensembleio.SaveTrace(&buf, run); err != nil {
+			t.Fatalf("SaveTrace: %v", err)
+		}
+		if err := ensembleio.SaveTraceJSON(&buf, run); err != nil {
+			t.Fatalf("SaveTraceJSON: %v", err)
+		}
+		if err := ensembleio.SaveTelemetry(&buf, run); err != nil {
+			t.Fatalf("SaveTelemetry: %v", err)
+		}
+		if err := ensembleio.SaveSpans(&buf, run); err != nil {
+			t.Fatalf("SaveSpans: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGeneratedSpecsDeterministic extends the determinism contract to
+// the workload DSL's generated corpus: every spec the seeded generator
+// emits must serialize byte-identically across worker counts (-j 1 vs
+// -j 4) and across the analytic fast path being on or off — the same
+// gates the hand-coded workloads pass, applied to the grammar's
+// random corner cases in bulk.
+func TestGeneratedSpecsDeterministic(t *testing.T) {
+	sequential := generatedSpecArtifacts(t, 1, false)
+	if len(sequential) == 0 {
+		t.Fatal("generated specs produced no serialized artifacts; the check is vacuous")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	parallel := generatedSpecArtifacts(t, 4, false)
+	if !bytes.Equal(sequential, parallel) {
+		i := 0
+		for i < len(sequential) && i < len(parallel) && sequential[i] == parallel[i] {
+			i++
+		}
+		t.Errorf("generated specs -j 1 vs -j 4: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(sequential), len(parallel), i)
+	}
+	eventPath := generatedSpecArtifacts(t, 1, true)
+	if !bytes.Equal(sequential, eventPath) {
+		i := 0
+		for i < len(sequential) && i < len(eventPath) && sequential[i] == eventPath[i] {
+			i++
+		}
+		t.Errorf("generated specs analytic on vs off: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(sequential), len(eventPath), i)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"ensembleio/internal/runpool"
 	"ensembleio/internal/telemetry"
 	"ensembleio/internal/tracefmt"
+	"ensembleio/internal/wldsl"
 	"ensembleio/internal/workloads"
 )
 
@@ -117,6 +118,43 @@ type CheckpointResult = workloads.CheckpointResult
 func RunCheckpoint(cfg CheckpointConfig) *CheckpointResult {
 	return workloads.RunCheckpoint(cfg)
 }
+
+// Declarative workload DSL (internal/wldsl): JSON specs describing
+// phases, per-rank op sequences, sizes, strides and collective
+// buffering, compiled into deterministic sim programs.
+type (
+	// WorkloadSpec is a decoded workload description.
+	WorkloadSpec = wldsl.Spec
+	// WorkloadProgram is a compiled, runnable spec.
+	WorkloadProgram = wldsl.Program
+	// WorkloadRunConfig carries the runtime knobs a spec does not:
+	// machine, seed, collection mode, faults, telemetry.
+	WorkloadRunConfig = wldsl.RunConfig
+)
+
+// ParseWorkload decodes and validates a workload spec.
+func ParseWorkload(r io.Reader) (*WorkloadSpec, error) { return wldsl.Parse(r) }
+
+// LoadWorkload reads a workload spec from a JSON file.
+func LoadWorkload(path string) (*WorkloadSpec, error) { return wldsl.Load(path) }
+
+// EncodeWorkload writes a spec in the canonical encoding (indented
+// JSON, struct field order, trailing newline) — a decode/encode
+// fixpoint.
+func EncodeWorkload(w io.Writer, s *WorkloadSpec) error { return wldsl.Encode(w, s) }
+
+// CompileWorkload resolves a spec into a runnable program.
+func CompileWorkload(s *WorkloadSpec) (*WorkloadProgram, error) { return wldsl.Compile(s) }
+
+// RunWorkload compiles and executes a workload spec in one step.
+func RunWorkload(s *WorkloadSpec, cfg WorkloadRunConfig) (*Run, error) {
+	return wldsl.Run(s, cfg)
+}
+
+// GenerateWorkload returns a seeded pseudo-random valid workload spec
+// drawn from the checked-in corpus's scenario families (for fuzzing
+// the determinism suite).
+func GenerateWorkload(seed int64) *WorkloadSpec { return wldsl.Generate(seed) }
 
 // Trace event model (IPM-I/O).
 type (

@@ -15,6 +15,7 @@ var testdataPatterns = []string{
 	"./testdata/src/helpers",
 	"./testdata/src/detsim",
 	"./testdata/src/detstats",
+	"./testdata/src/detspec",
 }
 
 // TestDetflowGolden compares findings against the `// want` comments:

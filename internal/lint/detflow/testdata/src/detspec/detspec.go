@@ -1,0 +1,53 @@
+// Package detspec is golden testdata: a declarative workload-spec
+// interpreter in the simulator domain via the domain directive,
+// modeled on internal/wldsl. Parsing and compiling a spec are pure
+// functions of the input bytes and stay clean; the flagged lines show
+// the ways an interpreter could launder host nondeterminism into the
+// per-rank execution — stamping run metadata from the wall clock,
+// shuffling phase order through global rand, or deriving op order
+// from map iteration.
+//
+//detflow:domain sim
+package detspec
+
+import (
+	"sort"
+
+	"ensembleio/internal/lint/detflow/testdata/src/helpers"
+)
+
+// Spec is a toy workload description.
+type Spec struct {
+	Name   string
+	Phases []string
+	Params map[string]int
+}
+
+// Compile resolves a spec into an executable phase list — pure, so no
+// findings: deterministic interpreters are built from code like this.
+func Compile(s *Spec) []string {
+	out := make([]string, 0, len(s.Phases))
+	for _, ph := range s.Phases {
+		out = append(out, s.Name+"/"+ph)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stamp launders a wall-clock read into the compiled program's
+// metadata (a "compiled at" timestamp would break run reproducibility).
+func Stamp(s *Spec) int64 {
+	return helpers.Level1() // want `call to .*helpers\.Level1 launders a wall-clock read into simulator code`
+}
+
+// Jitter launders a global math/rand draw into phase order — workload
+// randomization must come from the run's seeded RNG instead.
+func Jitter(order []int) []int {
+	return helpers.Shuffled(order) // want `call to .*helpers\.Shuffled launders a global math/rand draw into simulator code`
+}
+
+// ParamOrder launders map-iteration order into the op sequence: the
+// compiled program would execute in a different order every run.
+func ParamOrder(s *Spec) []string {
+	return helpers.KeysOf(s.Params) // want `call to .*helpers\.KeysOf launders map-iteration-order dependence into simulator code`
+}

@@ -35,6 +35,7 @@ internal/runpool`,
 		"ensembleio/internal/workloads",
 		"ensembleio/internal/flownet",
 		"ensembleio/internal/cluster",
+		"ensembleio/internal/wldsl",
 	),
 	Run: runSimPurity,
 }

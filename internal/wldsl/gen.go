@@ -1,0 +1,178 @@
+package wldsl
+
+import (
+	"fmt"
+
+	"ensembleio/internal/sim"
+)
+
+// genSeedSalt decorrelates the generator's stream from the run seeds
+// the generated specs are later executed under.
+const genSeedSalt = 0x9e3d5c1
+
+// Generate returns a pseudo-random valid workload spec, drawn from
+// the scenario families the checked-in corpus covers: N-to-1 shared-
+// file writes, N-to-N file-per-process writes, bursty checkpoint
+// cycles, mixed write/read-back phases, and collective-buffered h5
+// dumps. The same seed always yields the same spec, and every
+// generated spec Validates, Compiles, and runs in well under a second
+// — they exist to be pushed through the determinism suite in bulk
+// (see TestGeneratedSpecsDeterministic).
+//
+// Reads are only ever generated against extents a preceding phase
+// wrote, so a generated workload can never fault on missing data.
+func Generate(seed int64) *Spec {
+	rng := sim.NewRNG(seed ^ genSeedSalt)
+	switch rng.Intn(5) {
+	case 0:
+		return genShared(seed, rng)
+	case 1:
+		return genFPP(seed, rng)
+	case 2:
+		return genCheckpoint(seed, rng)
+	case 3:
+		return genMixed(seed, rng)
+	default:
+		return genH5(seed, rng)
+	}
+}
+
+// geometry shared by the posix families.
+func genGeom(rng *sim.RNG) (tasks int, transfer int64, k, reps int) {
+	tasks = 2 << rng.Intn(3)              // 2, 4, 8
+	transfer = int64(1+rng.Intn(4)) * 2e6 // 2-8 MB
+	k = 1 + rng.Intn(4)                   // transfers per phase
+	reps = 1 + rng.Intn(3)                // phase repetitions
+	return
+}
+
+func genShared(seed int64, rng *sim.RNG) *Spec {
+	tasks, transfer, k, reps := genGeom(rng)
+	block := transfer * int64(k)
+	return &Spec{
+		Name:  fmt.Sprintf("gen-shared-%d", seed),
+		Tasks: tasks,
+		Phases: []Phase{
+			{Ops: []Op{{Op: "open"}, {Op: "barrier"}}},
+			{Name: "write-phase-%d", Repeat: reps, Ops: []Op{
+				{Op: "pwrite", Bytes: transfer, Count: k,
+					Offset: &Offset{PerRank: block, PerIter: transfer}},
+				{Op: "barrier"},
+			}},
+			{Ops: []Op{{Op: "close"}}},
+		},
+	}
+}
+
+func genFPP(seed int64, rng *sim.RNG) *Spec {
+	tasks, transfer, k, reps := genGeom(rng)
+	return &Spec{
+		Name:           fmt.Sprintf("gen-fpp-%d", seed),
+		Tasks:          tasks,
+		FilePerProcess: true,
+		StripeCount:    1 + rng.Intn(2),
+		Phases: []Phase{
+			{Ops: []Op{{Op: "open"}, {Op: "barrier"}}},
+			{Name: "write-phase-%d", Repeat: reps, Ops: []Op{
+				{Op: "pwrite", Bytes: transfer, Count: k,
+					Offset: &Offset{PerIter: transfer}},
+				{Op: "barrier"},
+			}},
+			{Ops: []Op{{Op: "close"}}},
+		},
+	}
+}
+
+func genCheckpoint(seed int64, rng *sim.RNG) *Spec {
+	tasks, transfer, k, steps := genGeom(rng)
+	state := transfer * int64(k)
+	return &Spec{
+		Name:  fmt.Sprintf("gen-checkpoint-%d", seed),
+		Tasks: tasks,
+		Phases: []Phase{
+			{Ops: []Op{{Op: "open"}, {Op: "barrier"}}},
+			{Repeat: steps + 1, Ops: []Op{
+				{Op: "compute", Seconds: 1 + 4*rng.Float64(), Sigma: 0.05},
+				{Op: "barrier"},
+				{Op: "mark", Name: "checkpoint-%d"},
+				{Op: "pwrite", Bytes: transfer, Count: k,
+					Offset: &Offset{PerRank: state, PerIter: transfer}},
+				{Op: "barrier"},
+			}},
+			{Ops: []Op{{Op: "close"}}},
+		},
+	}
+}
+
+func genMixed(seed int64, rng *sim.RNG) *Spec {
+	tasks, transfer, k, _ := genGeom(rng)
+	block := transfer * int64(k)
+	// Read back at a (possibly) different granularity that still
+	// tiles the written block exactly.
+	rk := k * (1 + rng.Intn(2))
+	rt := block / int64(rk)
+	return &Spec{
+		Name:  fmt.Sprintf("gen-mixed-%d", seed),
+		Tasks: tasks,
+		Phases: []Phase{
+			{Ops: []Op{{Op: "open"}, {Op: "barrier"}}},
+			{Name: "write-phase", Ops: []Op{
+				{Op: "pwrite", Bytes: transfer, Count: k,
+					Offset: &Offset{PerRank: block, PerIter: transfer}},
+				{Op: "barrier"},
+			}},
+			{Name: "read-phase", Ops: []Op{
+				{Op: "pread", Bytes: rt, Count: rk,
+					Offset: &Offset{PerRank: block, PerIter: rt}},
+				{Op: "barrier"},
+			}},
+			{Ops: []Op{{Op: "close"}}},
+		},
+	}
+}
+
+func genH5(seed int64, rng *sim.RNG) *Spec {
+	tasks := 8 << rng.Intn(2) // 8, 16
+	h5 := &H5{}
+	if rng.Bernoulli(0.5) {
+		h5.AlignBytes = 1e6
+	}
+	if rng.Bernoulli(0.3) {
+		h5.AggregateMetadata = true
+	}
+	var coll *Collective
+	if rng.Bernoulli(0.7) {
+		coll = &Collective{
+			Aggregators: tasks / (2 << rng.Intn(2)), // tasks/2 or tasks/4
+			TwoStage:    rng.Bernoulli(0.5),
+		}
+	}
+	nds := 1 + rng.Intn(2)
+	spec := &Spec{
+		Name:       fmt.Sprintf("gen-h5-%d", seed),
+		Tasks:      tasks,
+		H5:         h5,
+		Collective: coll,
+		Phases:     []Phase{{Ops: []Op{{Op: "open"}, {Op: "barrier"}}}},
+	}
+	for v := 0; v < nds; v++ {
+		name := fmt.Sprintf("var_%d", v)
+		spec.Datasets = append(spec.Datasets, Dataset{
+			Name:           name,
+			RecordBytes:    int64(1+rng.Intn(4)) * 4e5,
+			RecordsPerTask: 1 + rng.Intn(3),
+			MetaOps:        4 + rng.Intn(13),
+		})
+		spec.Phases = append(spec.Phases, Phase{
+			Name: fmt.Sprintf("var-%d", v),
+			Ops: []Op{
+				{Op: "gather", Dataset: name},
+				{Op: "write-records", Dataset: name},
+				{Op: "metadata", Dataset: name},
+				{Op: "barrier"},
+			},
+		})
+	}
+	spec.Phases = append(spec.Phases, Phase{Name: "close", Ops: []Op{{Op: "close"}}})
+	return spec
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"ensembleio/internal/cluster"
+	"ensembleio/internal/faults"
+	"ensembleio/internal/ipmio"
+	"ensembleio/internal/lustre"
+	"ensembleio/internal/mpi"
+	"ensembleio/internal/telemetry"
+)
+
+// CustomConfig wires a job for an externally defined workload body —
+// the declarative-spec interpreter (internal/wldsl) and any future
+// programmatic workload. It carries exactly the runtime knobs the
+// hand-coded configs share: machine, seed, collection mode, fault
+// scenario, and the telemetry toggle.
+type CustomConfig struct {
+	Machine cluster.Profile
+	// Tasks is the number of MPI ranks to launch (the world size, not
+	// necessarily the workload's logical task count — a collective-
+	// buffering job may run fewer writer ranks than tasks).
+	Tasks int
+	Seed  int64
+	// Mode selects trace and/or profile collection (default TraceMode).
+	Mode ipmio.Mode
+	// Faults, when non-nil, is the degradation scenario injected into
+	// the machine before the run (see internal/faults).
+	Faults *faults.Scenario
+	// Telemetry enables the run's deterministic metric/span sink.
+	Telemetry bool
+	// StripeCount overrides the stripe count of newly created files
+	// (0 = stripe over all OSTs).
+	StripeCount int
+	// ReserveEvents pre-sizes the trace buffer (a capacity floor; see
+	// ipmio.Collector.Reserve). Zero skips pre-sizing.
+	ReserveEvents int
+}
+
+// Job is the exported face of the per-run wiring (engine, cluster,
+// file system, MPI world, collector, telemetry sink) that the
+// hand-coded workloads build through newJob. It exists so workload
+// bodies defined outside this package run through the exact same
+// plumbing — in particular the same telemetry fold — and therefore
+// serialize byte-identically to an equivalent hand-coded run.
+type Job struct {
+	j *job
+}
+
+// NewCustomJob builds the simulated machine and support structure for
+// one run.
+func NewCustomJob(cfg CustomConfig) *Job {
+	if cfg.Mode == 0 {
+		cfg.Mode = ipmio.TraceMode
+	}
+	j := newJob(cfg.Machine, cfg.Tasks, cfg.Seed, cfg.Mode, cfg.Telemetry)
+	j.fs.DefaultStripeCount = cfg.StripeCount
+	j.applyFaults(cfg.Faults)
+	j.col.Reserve(cfg.ReserveEvents)
+	return &Job{j: j}
+}
+
+// World exposes the MPI world, for pre-launch communicator setup
+// (collective-buffering groups must be created before Launch, in a
+// deterministic order).
+func (J *Job) World() *mpi.World { return J.j.w }
+
+// FS exposes the mounted file system (diagnostic hooks).
+func (J *Job) FS() *lustre.FS { return J.j.fs }
+
+// Mark records a phase boundary once (from rank 0).
+func (J *Job) Mark(r *mpi.Rank, name string) { J.j.mark(r, name) }
+
+// Launch runs body on every rank and drives the engine to completion.
+func (J *Job) Launch(body func(r *mpi.Rank, tr *ipmio.Tracer)) { J.j.launch(body) }
+
+// Finish assembles the run artifact: collector, makespan, file-system
+// stats, and (when enabled) the folded telemetry — identical to what
+// the hand-coded workloads produce. tasks is the workload's logical
+// task count and totalBytes its logical data volume (sized data ops,
+// excluding metadata and padding).
+func (J *Job) Finish(name string, tasks int, totalBytes int64) *Run {
+	return J.j.finish(&Run{
+		Name:       name,
+		Tasks:      tasks,
+		Collector:  J.j.col,
+		Wall:       J.j.wall,
+		TotalBytes: totalBytes,
+	})
+}
+
+// Telemetry exposes the job's sink (nil-safe no-op when telemetry is
+// disabled), for workload-level gauges.
+func (J *Job) Telemetry() *telemetry.Sink { return J.j.tel }
