@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard fastpath-ablation dsl-golden ci
+.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard fastpath-ablation dsl-golden interference-golden ci
 
 build:
 	$(GO) build ./...
@@ -126,6 +126,22 @@ dsl-golden:
 	@ls out/wlrun >/dev/null
 	@echo "dsl-golden: spec ports byte-identical, corpus canonical, goldens stable"
 
+# interference-golden: the multi-tenant pipeline's proof chain — the
+# tenancy package's victim/aggressor and clean-co-run tests, the
+# two-tenant determinism gates (-j 1 vs -j 4, analytic on vs off, with
+# an adversarial generated tenant in the mix), and the SHA-256 golden
+# digests of every co-run artifact (per-tenant traces, merged
+# telemetry, spans, interference report). Ends with an ensembleduel
+# smoke: two specs in, report and artifact set out.
+interference-golden:
+	$(GO) test -count=1 ./internal/tenancy
+	$(GO) test -count=1 -run 'TestInterferenceGolden|TestTenancyDeterministic' .
+	@rm -rf out/duel && mkdir -p out/duel
+	$(GO) run ./cmd/ensembleduel -spec testdata/scenarios/workloads/ior-shared.json \
+		-spec testdata/scenarios/workloads/gcrm-collective.json -stagger 0,1 -seed 5 -out out/duel
+	@ls out/duel >/dev/null
+	@echo "interference-golden: co-runs deterministic, goldens stable"
+
 # One target per invocation: go test allows a single -fuzz pattern
 # match per run.
 fuzz-smoke:
@@ -136,4 +152,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzMetricsDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzSpecDecode$$' -fuzztime=$(FUZZTIME) ./internal/wldsl
 
-ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation dsl-golden bench-guard fuzz-smoke
+ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation dsl-golden interference-golden bench-guard fuzz-smoke

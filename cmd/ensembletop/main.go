@@ -9,11 +9,17 @@
 //
 // Usage:
 //
-//	ensembletop [-top N] [-spans run.spans.jsonl] run.telemetry.json [more.json ...]
+//	ensembletop [-top N] [-spans run.spans.jsonl] [-tenant NAME]
+//	            run.telemetry.json [more.json ...]
 //
 // Multiple snapshots aggregate: counters and histogram summaries sum,
 // gauges keep their maximum — the natural reading for an ensemble of
 // runs of the same experiment.
+//
+// Multi-tenant session snapshots (ensembleduel) carry a per-tenant
+// counter family; each tenant then gets its own fast-forwarded-
+// fraction line, and -tenant NAME restricts every table (and -spans)
+// to that tenant's slice of the session.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 	var (
 		top     = flag.Int("top", 10, "rows per table")
 		spans   = flag.String("spans", "", "also summarize this span JSONL file by category")
+		tenant  = flag.String("tenant", "", "filter a multi-tenant session to one tenant (tenant.NAME.* counters, NAME/ spans)")
 		prof    = flag.String("prof", "", "write CPU/heap profiles to PREFIX.{cpu,heap}.pprof")
 		version = flag.Bool("version", false, "print build version and exit")
 	)
@@ -61,13 +68,17 @@ func main() {
 	agg := aggregate(flag.Args())
 	if agg != nil {
 		printFastForward(agg)
+		printTenantFastForward(agg, *tenant)
+		if *tenant != "" {
+			agg = filterTenant(agg, *tenant)
+		}
 		printCounters(agg, *top)
 		printGauges(agg)
 		printHists(agg, *top)
 		printOSTs(agg, *top)
 	}
 	if *spans != "" {
-		printSpans(*spans, *top)
+		printSpans(*spans, *top, *tenant)
 	}
 }
 
@@ -178,6 +189,81 @@ func printFastForward(s *telemetry.Snapshot) {
 		report.F(ff, 1), report.F(total, 1), 100*ff/total, jumps)
 }
 
+// printTenantFastForward prints one fast-forward line per tenant of a
+// multi-tenant session snapshot: the virtual seconds of the tenant's
+// own window the fabric crossed in analytic jumps. With name set, only
+// that tenant's line prints. Snapshots without tenant counters print
+// nothing.
+func printTenantFastForward(s *telemetry.Snapshot, name string) {
+	type ffStat struct{ total, ff, jumps float64 }
+	stats := map[string]*ffStat{}
+	var order []string
+	for _, c := range s.Counters {
+		rest, ok := strings.CutPrefix(c.Name, "tenant.")
+		if !ok {
+			continue
+		}
+		tn, metric, ok := strings.Cut(rest, ".")
+		if !ok || (name != "" && tn != name) {
+			continue
+		}
+		st, ok := stats[tn]
+		if !ok {
+			st = &ffStat{}
+			stats[tn] = st
+			order = append(order, tn)
+		}
+		switch metric {
+		case "virtual_seconds":
+			st.total = c.Value
+		case "ff_seconds":
+			st.ff = c.Value
+		case "ff_jumps":
+			st.jumps = c.Value
+		}
+	}
+	printed := false
+	for _, tn := range order {
+		st := stats[tn]
+		if st.total <= 0 {
+			continue
+		}
+		fmt.Printf("tenant %s: fast-forwarded %s of %s virtual seconds (%.1f%%) in %.0f jumps\n",
+			tn, report.F(st.ff, 1), report.F(st.total, 1), 100*st.ff/st.total, st.jumps)
+		printed = true
+	}
+	if printed {
+		fmt.Println()
+	}
+}
+
+// filterTenant restricts a session snapshot to one tenant's counters,
+// stripping the "tenant.NAME." prefix so the remaining tables read
+// like a solo run's (per-OST counters become "ostNNN.*").
+func filterTenant(s *telemetry.Snapshot, name string) *telemetry.Snapshot {
+	prefix := "tenant." + name + "."
+	out := &telemetry.Snapshot{}
+	for _, c := range s.Counters {
+		if rest, ok := strings.CutPrefix(c.Name, prefix); ok {
+			c.Name = rest
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if rest, ok := strings.CutPrefix(g.Name, prefix); ok {
+			g.Name = rest
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Hists {
+		if rest, ok := strings.CutPrefix(h.Name, prefix); ok {
+			h.Name = rest
+			out.Hists = append(out.Hists, h)
+		}
+	}
+	return out
+}
+
 func printCounters(s *telemetry.Snapshot, top int) {
 	// Per-OST counters get their own table; keep this one readable.
 	var cs []telemetry.CounterSnap
@@ -242,10 +328,17 @@ type ostStat struct {
 	streams, mb, sec, stall float64
 }
 
-// ostIndex parses the OST number out of a "lustre.ostNNN.<metric>"
-// counter name, or -1 when the name is not per-OST.
+// ostIndex parses the OST number out of a per-OST counter name —
+// "lustre.ostNNN.<metric>", a tenant slice "tenant.X.ostNNN.<metric>",
+// or the prefix-stripped "ostNNN.<metric>" a -tenant filter leaves —
+// and returns -1 when the name is not per-OST.
 func ostIndex(name string) int {
-	rest, ok := strings.CutPrefix(name, "lustre.ost")
+	rest, ok := strings.CutPrefix(name, "ost")
+	if !ok {
+		if i := strings.Index(name, ".ost"); i >= 0 {
+			rest, ok = name[i+len(".ost"):], true
+		}
+	}
 	if !ok {
 		return -1
 	}
@@ -266,6 +359,11 @@ func ostIndex(name string) int {
 func printOSTs(s *telemetry.Snapshot, top int) {
 	stats := map[int]*ostStat{}
 	for _, c := range s.Counters {
+		// Tenant per-OST slices would double-count against the global
+		// family here; the -tenant filter is the view onto those.
+		if strings.HasPrefix(c.Name, "tenant.") {
+			continue
+		}
 		i := ostIndex(c.Name)
 		if i < 0 {
 			continue
@@ -323,8 +421,11 @@ func printOSTs(s *telemetry.Snapshot, top int) {
 }
 
 // printSpans breaks a span file down by category: total virtual time,
-// span count, and the longest single span with its name.
-func printSpans(path string, top int) {
+// span count, and the longest single span with its name. With tenant
+// set, only that tenant's spans count — its window span (cat
+// "tenant") and the "NAME/"-prefixed phase and I/O spans a session
+// fold emits.
+func printSpans(path string, top int, tenant string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -333,6 +434,16 @@ func printSpans(path string, top int) {
 	spans, err := tracefmt.ReadSpans(f)
 	if err != nil {
 		log.Fatalf("%s: %v", path, err)
+	}
+	if tenant != "" {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.Cat == "tenant" && sp.Name == tenant ||
+				strings.HasPrefix(sp.Name, tenant+"/") {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
 	}
 	type catStat struct {
 		cat          string

@@ -11,6 +11,7 @@ package ensembleio_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
@@ -513,6 +514,98 @@ func TestGeneratedSpecsDeterministic(t *testing.T) {
 			i++
 		}
 		t.Errorf("generated specs analytic on vs off: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(sequential), len(eventPath), i)
+	}
+}
+
+// tenancyArtifacts runs a batch of seeded two-tenant co-runs — the
+// generator's adversarial tiny-transfer family co-scheduled against an
+// arbitrary generated peer — through a worker pool, analyzes each for
+// interference (which re-simulates both solo baselines), and
+// serializes every artifact: per-tenant binary traces, the merged
+// telemetry snapshot and span stream, and the interference report
+// JSON.
+func tenancyArtifacts(t *testing.T, workers int, analyticOff bool) []byte {
+	t.Helper()
+	seeds := []int64{0, 1, 2, 3}
+	m := ensembleio.Franklin()
+	m.AnalyticOff = analyticOff
+	out := make([][]byte, len(seeds))
+	ensembleio.RunMany(workers, []int{0, 1, 2, 3}, func(i int) *ensembleio.Run {
+		seed := seeds[i]
+		cfg := ensembleio.TenancyConfig{Machine: m, Seed: 50 + seed, Telemetry: true}
+		tenants := []ensembleio.Tenant{
+			{Name: "adv", Spec: ensembleio.GenerateAdversarialWorkload(seed)},
+			{Name: "peer", Spec: ensembleio.GenerateWorkload(seed + 100), StartSec: 1},
+		}
+		res, err := ensembleio.RunTenants(cfg, tenants)
+		if err != nil {
+			t.Errorf("seed %d: RunTenants: %v", seed, err)
+			return nil
+		}
+		rep, err := ensembleio.AnalyzeInterference(cfg, tenants, res, ensembleio.InterferenceConfig{})
+		if err != nil {
+			t.Errorf("seed %d: AnalyzeInterference: %v", seed, err)
+			return nil
+		}
+		var buf bytes.Buffer
+		for j := range res.Tenants {
+			tr := &res.Tenants[j]
+			fmt.Fprintf(&buf, "%s seed=%d [%v, %v]\n", tr.Name, seed, tr.StartSec, tr.EndSec)
+			if err := ensembleio.SaveTrace(&buf, tr.Run); err != nil {
+				t.Errorf("seed %d: SaveTrace(%s): %v", seed, tr.Name, err)
+			}
+		}
+		if err := ensembleio.SaveTelemetrySnapshot(&buf, res.Telemetry); err != nil {
+			t.Errorf("seed %d: SaveTelemetrySnapshot: %v", seed, err)
+		}
+		if err := ensembleio.SaveSpanList(&buf, res.Spans); err != nil {
+			t.Errorf("seed %d: SaveSpanList: %v", seed, err)
+		}
+		repJSON, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Errorf("seed %d: marshal report: %v", seed, err)
+		}
+		buf.Write(repJSON)
+		out[i] = buf.Bytes()
+		return res.Tenants[0].Run
+	})
+	var all bytes.Buffer
+	for _, b := range out {
+		all.Write(b)
+	}
+	return all.Bytes()
+}
+
+// TestTenancyDeterministic extends the byte-identity contract to
+// multi-tenant co-runs: a shared-platform session with staggered
+// tenants, per-tenant accounting, merged telemetry, and the full
+// interference analysis (solo baselines included) must serialize
+// byte-identically across worker counts (-j 1 vs -j 4) and across the
+// analytic fast path being on or off.
+func TestTenancyDeterministic(t *testing.T) {
+	sequential := tenancyArtifacts(t, 1, false)
+	if len(sequential) == 0 {
+		t.Fatal("tenancy co-runs produced no serialized artifacts; the check is vacuous")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	parallel := tenancyArtifacts(t, 4, false)
+	if !bytes.Equal(sequential, parallel) {
+		i := 0
+		for i < len(sequential) && i < len(parallel) && sequential[i] == parallel[i] {
+			i++
+		}
+		t.Errorf("tenancy co-runs -j 1 vs -j 4: artifacts differ (len %d vs %d, first divergence at byte %d)",
+			len(sequential), len(parallel), i)
+	}
+	eventPath := tenancyArtifacts(t, 1, true)
+	if !bytes.Equal(sequential, eventPath) {
+		i := 0
+		for i < len(sequential) && i < len(eventPath) && sequential[i] == eventPath[i] {
+			i++
+		}
+		t.Errorf("tenancy co-runs analytic on vs off: artifacts differ (len %d vs %d, first divergence at byte %d)",
 			len(sequential), len(eventPath), i)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/runpool"
 	"ensembleio/internal/telemetry"
+	"ensembleio/internal/tenancy"
 	"ensembleio/internal/tracefmt"
 	"ensembleio/internal/wldsl"
 	"ensembleio/internal/workloads"
@@ -155,6 +156,54 @@ func RunWorkload(s *WorkloadSpec, cfg WorkloadRunConfig) (*Run, error) {
 // drawn from the checked-in corpus's scenario families (for fuzzing
 // the determinism suite).
 func GenerateWorkload(seed int64) *WorkloadSpec { return wldsl.Generate(seed) }
+
+// GenerateAdversarialWorkload returns a seeded spec from the
+// generator's adversarial family directly: 32-64 ranks issuing tiny
+// transfers (4 KiB - 256 KiB) that straddle the small-I/O threshold —
+// the canonical noisy-neighbor shape for interference testing.
+func GenerateAdversarialWorkload(seed int64) *WorkloadSpec { return wldsl.GenerateAdversarial(seed) }
+
+// Multi-tenant co-scheduling (internal/tenancy): several declarative
+// workloads share one platform — engine, fabric, lustre mount,
+// metadata service — with staggered starts, per-tenant accounting, and
+// LASSi-style interference analysis against automatically simulated
+// solo baselines.
+type (
+	// Tenant is one co-scheduled workload instance (name, spec,
+	// start offset).
+	Tenant = tenancy.Tenant
+	// TenancyConfig carries the session-wide runtime knobs.
+	TenancyConfig = tenancy.Config
+	// TenancyResult is a finished co-run: per-tenant artifacts plus
+	// the merged telemetry stream.
+	TenancyResult = tenancy.Result
+	// TenantResult is one tenant's share of a co-run.
+	TenantResult = tenancy.TenantResult
+	// InterferenceConfig tunes the interference-metric thresholds.
+	InterferenceConfig = analysis.InterferenceConfig
+	// InterferenceReport is the LASSi-style analysis artifact:
+	// per-tenant metrics, contention windows, victim/aggressor
+	// ranking.
+	InterferenceReport = analysis.InterferenceReport
+	// InterferencePair is one ranked victim/aggressor finding.
+	InterferencePair = analysis.InterferencePair
+	// TenantMetrics is one tenant's share of a co-run.
+	TenantMetrics = analysis.TenantMetrics
+	// ContentionWindow is a span with two or more active tenants.
+	ContentionWindow = analysis.ContentionWindow
+)
+
+// RunTenants executes a multi-tenant co-run on one shared platform.
+func RunTenants(cfg TenancyConfig, tenants []Tenant) (*TenancyResult, error) {
+	return tenancy.RunTenants(cfg, tenants)
+}
+
+// AnalyzeInterference simulates each tenant's solo baseline and
+// computes the interference report for a finished co-run. Both the
+// baselines and the report are deterministic functions of the inputs.
+func AnalyzeInterference(cfg TenancyConfig, tenants []Tenant, res *TenancyResult, icfg InterferenceConfig) (*InterferenceReport, error) {
+	return tenancy.Analyze(cfg, tenants, res, icfg)
+}
 
 // Trace event model (IPM-I/O).
 type (
@@ -468,6 +517,18 @@ func LoadTelemetry(r io.Reader) (*TelemetrySnapshot, error) {
 // SaveSpans writes a run's spans in the compact JSONL span format.
 func SaveSpans(w io.Writer, run *Run) error {
 	return tracefmt.WriteSpans(w, run.Spans)
+}
+
+// SaveTelemetrySnapshot writes a bare telemetry snapshot — e.g. a
+// multi-tenant session's merged stream — as indented JSON.
+func SaveTelemetrySnapshot(w io.Writer, snap *TelemetrySnapshot) error {
+	return tracefmt.WriteMetrics(w, snap)
+}
+
+// SaveSpanList writes a bare span list — e.g. a session's merged
+// stream — in the compact JSONL span format.
+func SaveSpanList(w io.Writer, spans []Span) error {
+	return tracefmt.WriteSpans(w, spans)
 }
 
 // LoadSpans reads a span JSONL stream.

@@ -403,6 +403,20 @@ func (c *Cluster) InjectBurstLoad(mbps, onSec, offSec, startSec float64) {
 	c.Eng.After(sim.Duration(startSec), burst)
 }
 
+// NewExternalNode appends a node that models another tenant's
+// injection point into the shared fabric: a rate-capped weighted port
+// with no compute placement (NodeForTask never maps ranks onto it).
+// The weight is relative to the application ports' unit weight, so a
+// heavy weight lets the external stream claim ~its cap even when every
+// application node is pushing. Used by the background-bursts fault,
+// which drives a real write workload through a lustre client mounted
+// on the returned node (lustre.FS.AddExternalClient).
+func (c *Cluster) NewExternalNode(capMBps, weight float64) *Node {
+	n := &Node{ID: len(c.Nodes), Port: c.Fabric.NewWeightedPort(capMBps, weight), cl: c}
+	c.Nodes = append(c.Nodes, n)
+	return n
+}
+
 // MemoryPressure reports the node's dirty-page pressure in [0, 1+]:
 // the ratio of dirty cache to the dirty limit.
 func (n *Node) MemoryPressure() float64 {

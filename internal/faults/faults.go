@@ -18,6 +18,7 @@ import (
 
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/lustre"
+	"ensembleio/internal/sim"
 )
 
 // Fault is one injected degradation.
@@ -195,6 +196,14 @@ func (f *MDSBrownout) Apply(_ *cluster.Machine, fs *lustre.FS) error {
 // BackgroundBursts injects deterministic competing load: from StartSec
 // on, bursts consuming up to MBps of the aggregate for OnSec seconds,
 // separated by OffSec of silence — another job's checkpoint cycle.
+//
+// The bursts are a real competing tenant, not a synthetic fabric
+// stream: Apply mounts a lustre client on an external injection node
+// and drives each burst through the ordinary write path (write queue,
+// flusher, per-OST attribution), so the contention the foreground
+// application sees — and the server-side counters operators would
+// read — both come from the same mechanism a co-scheduled neighbor
+// (internal/tenancy) exercises.
 type BackgroundBursts struct {
 	MBps     float64 `json:"mbps"`
 	OnSec    float64 `json:"on_sec"`
@@ -222,8 +231,52 @@ func (f *BackgroundBursts) Validate() error {
 	return nil
 }
 
-// Apply implements Fault.
-func (f *BackgroundBursts) Apply(m *cluster.Machine, _ *lustre.FS) error {
-	m.InjectBurstLoad(f.MBps, f.OnSec, f.OffSec, f.StartSec)
+// Apply implements Fault. The competing tenant writes MBps*OnSec
+// megabytes per burst through a real lustre client on an external
+// injection node, pacing itself to the absolute burst schedule
+// (StartSec + k*(OnSec+OffSec)) so the active windows match what
+// Scenario.Windows derives from the parameters. The injector exits
+// once the foreground workload finishes (BackgroundStopped), letting
+// the event queue drain.
+func (f *BackgroundBursts) Apply(m *cluster.Machine, fs *lustre.FS) error {
+	mbps := f.MBps
+	agg := m.Prof.EffectiveAggregateMBps()
+	if mbps > 0.95*agg {
+		mbps = 0.95 * agg
+	}
+	// Weight chosen like the stochastic background port's: heavy enough
+	// that the tenant's stream claims ~mbps even when every application
+	// node is pushing. The port is additionally rate-capped at mbps so
+	// an idle fabric never lets a burst finish early.
+	w := mbps / (agg - mbps) * float64(len(m.Nodes))
+	node := m.NewExternalNode(mbps, w)
+	client := fs.AddExternalClient(node)
+
+	// The tenant's checkpoint file stripes over every OST regardless of
+	// the foreground mount default — a neighbor's striping is its own.
+	saved := fs.DefaultStripeCount
+	fs.DefaultStripeCount = 0
+	file := fs.Create("/scratch/.bg-burst-tenant")
+	fs.DefaultStripeCount = saved
+
+	// Stripe-aligned burst extents: whole megabytes, so each burst is
+	// one aligned streaming write with no partial-RPC conflict term.
+	burstBytes := int64(mbps*f.OnSec) * 1e6
+	if burstBytes < 1e6 {
+		burstBytes = 1e6
+	}
+	period := f.OnSec + f.OffSec
+	m.Eng.Spawn("bg-burst-tenant", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(f.StartSec))
+		var offset int64
+		for k := 0; !m.BackgroundStopped(); k++ {
+			client.Write(p, file, offset, burstBytes)
+			offset += burstBytes
+			next := sim.Time(f.StartSec + float64(k+1)*period)
+			if now := p.Now(); next > now {
+				p.Sleep(next - now)
+			}
+		}
+	})
 	return nil
 }

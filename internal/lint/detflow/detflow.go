@@ -132,6 +132,7 @@ var domains = map[string]domain{
 	"ensembleio/internal/flownet":   {"simulator", simForbidden},
 	"ensembleio/internal/cluster":   {"simulator", simForbidden},
 	"ensembleio/internal/wldsl":     {"simulator", simForbidden},
+	"ensembleio/internal/tenancy":   {"simulator", simForbidden},
 
 	"ensembleio/internal/telemetry": {"artifact-encoding", artifactForbidden},
 	"ensembleio/internal/tracefmt":  {"artifact-encoding", artifactForbidden},

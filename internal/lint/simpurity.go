@@ -36,6 +36,7 @@ internal/runpool`,
 		"ensembleio/internal/flownet",
 		"ensembleio/internal/cluster",
 		"ensembleio/internal/wldsl",
+		"ensembleio/internal/tenancy",
 	),
 	Run: runSimPurity,
 }

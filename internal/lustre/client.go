@@ -144,6 +144,10 @@ func (c *Client) Write(p *sim.Proc, f *File, offset, length int64) sim.Duration 
 		f.activeWriters++
 		c.fs.stats.WriteJobs++
 		c.fs.stats.WriteMB += syncMB
+		if tu := c.fs.tenantUsageFor(c.node.ID); tu != nil {
+			tu.WriteJobs++
+			tu.WriteMB += syncMB
+		}
 		if !math.IsInf(job.luckCap, 1) {
 			c.fs.stats.LuckCapped++
 		}
@@ -263,7 +267,7 @@ func (j *writeJob) start() {
 // retain a reference past this point.
 func (j *writeJob) done() {
 	c := j.c
-	c.fs.noteOSTService(j.file, j.offset, j.length, j.demandMB, c.fs.Cl.Eng.Now()-j.launched)
+	c.fs.noteOSTService(c.node.ID, j.file, j.offset, j.length, j.demandMB, c.fs.Cl.Eng.Now()-j.launched)
 	c.inflightW--
 	c.fs.activeWriteJobs--
 	j.file.activeWriters--

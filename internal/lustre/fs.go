@@ -27,6 +27,13 @@ type FS struct {
 	rng   *sim.RNG
 	stats Stats
 
+	// Multi-tenant accounting (see RegisterTenant): tenantOf maps a
+	// node ID to its tenant index (-1 = unattributed), tenantUsage
+	// holds each tenant's slice of the server-side view. Both stay nil
+	// on single-tenant mounts, costing the data path one length check.
+	tenantOf    []int
+	tenantUsage []TenantUsage
+
 	// ostScratch backs Layout.ForEachOSTBuf in the per-stream
 	// accounting paths (single-threaded under the lock-step engine, so
 	// one FS-wide buffer is safe).
@@ -183,17 +190,26 @@ func (fs *FS) ostCapMBps(f *File, offset, length int64, t sim.Time) float64 {
 
 // noteOSTService attributes one completed data stream to the OSTs its
 // extent touches, weighted by stripe share — the server-side per-OST
-// observation surfaced through Stats.PerOST.
-func (fs *FS) noteOSTService(f *File, offset, length int64, demandMB float64, dur sim.Duration) {
+// observation surfaced through Stats.PerOST. nodeID identifies the
+// issuing client's node, so a multi-tenant mount can attribute the
+// same observation to the owning tenant's usage bucket.
+func (fs *FS) noteOSTService(nodeID int, f *File, offset, length int64, demandMB float64, dur sim.Duration) {
 	if len(fs.stats.PerOST) == 0 || dur <= 0 {
 		return
 	}
 	fs.telStreamS.Observe(float64(dur))
+	tu := fs.tenantUsageFor(nodeID)
 	fs.ostScratch = f.Layout.ForEachOSTBuf(fs.ostScratch, offset, length, len(fs.stats.PerOST), func(ost int, frac float64) {
 		st := &fs.stats.PerOST[ost]
 		st.Streams++
 		st.MB += demandMB * frac
 		st.Seconds += float64(dur) * frac
+		if tu != nil {
+			ot := &tu.PerOST[ost]
+			ot.Streams++
+			ot.MB += demandMB * frac
+			ot.Seconds += float64(dur) * frac
+		}
 	})
 }
 
@@ -241,6 +257,19 @@ func (fs *FS) Lookup(name string) *File { return fs.files[name] }
 
 // ClientFor returns the client on the given node.
 func (fs *FS) ClientFor(n *cluster.Node) *Client { return fs.clients[n.ID] }
+
+// AddExternalClient mounts a client on a node created after the file
+// system — a competing tenant's injection node from
+// cluster.NewExternalNode. The node must be the next unmounted one,
+// so client and node IDs stay aligned.
+func (fs *FS) AddExternalClient(n *cluster.Node) *Client {
+	if n.ID != len(fs.clients) {
+		panic(fmt.Sprintf("lustre: external client for node %d but %d clients mounted", n.ID, len(fs.clients)))
+	}
+	c := newClient(fs, n)
+	fs.clients = append(fs.clients, c)
+	return c
+}
 
 // ActiveWriters reports the file-system-wide count of queued or
 // in-flight write jobs.

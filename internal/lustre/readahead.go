@@ -85,6 +85,10 @@ func (c *Client) Read(p *sim.Proc, f *File, rs *ReadState, offset, length int64)
 	normalCap := minf(prof.ReadCapMBps, luck)
 	c.fs.stats.ReadCalls++
 	c.fs.stats.ReadMB += demand
+	if tu := c.fs.tenantUsageFor(c.node.ID); tu != nil {
+		tu.ReadCalls++
+		tu.ReadMB += demand
+	}
 
 	pathological := false
 	for i := 0; i < chunks; i++ {
@@ -118,6 +122,6 @@ func (c *Client) Read(p *sim.Proc, f *File, rs *ReadState, offset, length int64)
 		}
 	}
 	dur := p.Now() - start
-	c.fs.noteOSTService(f, offset, length, demand, dur)
+	c.fs.noteOSTService(c.node.ID, f, offset, length, demand, dur)
 	return dur
 }

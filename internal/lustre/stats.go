@@ -64,3 +64,64 @@ func (fs *FS) Stats() Stats {
 	s.PerOST = append([]OSTStat(nil), fs.stats.PerOST...)
 	return s
 }
+
+// TenantUsage is one tenant's slice of the server-side view on a
+// shared mount: the same data-path and per-OST attribution Stats keeps
+// file-system-wide, restricted to streams issued from the tenant's
+// node range. It is the LASSi-style per-application accounting the
+// interference analysis consumes — which application moved how much
+// through which OST, regardless of what it reported client-side.
+type TenantUsage struct {
+	WriteJobs int64   // write jobs dispatched from the tenant's nodes
+	WriteMB   float64 // megabytes moved by those jobs (sync portions)
+	ReadCalls int64   // read calls served to the tenant's nodes
+	ReadMB    float64 // megabytes moved by those reads
+	PerOST    []OSTStat
+}
+
+// RegisterTenant assigns the node-ID range [nodeBase, nodeBase+nNodes)
+// to a new tenant and returns its index. Ranges must not overlap;
+// nodes outside every registered range (and external injection nodes
+// added later) stay unattributed. Call before the workload launches.
+func (fs *FS) RegisterTenant(nodeBase, nNodes int) int {
+	if nodeBase < 0 || nNodes <= 0 || nodeBase+nNodes > len(fs.Cl.Nodes) {
+		panic(fmt.Sprintf("lustre: tenant node range [%d,%d) outside cluster of %d nodes",
+			nodeBase, nodeBase+nNodes, len(fs.Cl.Nodes)))
+	}
+	if fs.tenantOf == nil {
+		fs.tenantOf = make([]int, len(fs.Cl.Nodes))
+		for i := range fs.tenantOf {
+			fs.tenantOf[i] = -1
+		}
+	}
+	idx := len(fs.tenantUsage)
+	for n := nodeBase; n < nodeBase+nNodes; n++ {
+		if fs.tenantOf[n] >= 0 {
+			panic(fmt.Sprintf("lustre: node %d already assigned to tenant %d", n, fs.tenantOf[n]))
+		}
+		fs.tenantOf[n] = idx
+	}
+	fs.tenantUsage = append(fs.tenantUsage, TenantUsage{PerOST: make([]OSTStat, fs.Cl.Prof.OSTs)})
+	return idx
+}
+
+// TenantUsage returns a copy of tenant t's usage snapshot.
+func (fs *FS) TenantUsage(t int) TenantUsage {
+	u := fs.tenantUsage[t]
+	u.PerOST = append([]OSTStat(nil), u.PerOST...)
+	return u
+}
+
+// tenantUsageFor resolves the accounting bucket for streams issued
+// from the given node, or nil when the node is unattributed (solo
+// runs, external injection nodes).
+func (fs *FS) tenantUsageFor(nodeID int) *TenantUsage {
+	if nodeID >= len(fs.tenantOf) {
+		return nil
+	}
+	t := fs.tenantOf[nodeID]
+	if t < 0 {
+		return nil
+	}
+	return &fs.tenantUsage[t]
+}

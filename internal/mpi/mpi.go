@@ -17,12 +17,23 @@ import (
 	"ensembleio/internal/telemetry"
 )
 
-// Config sets the communication cost model.
+// Config sets the communication cost model and the world's placement
+// on a shared cluster.
 type Config struct {
 	// LatencySec is the per-hop message latency (default 2 us).
 	LatencySec float64
 	// LinkMBps is the per-node MPI bandwidth (default 1600 MB/s).
 	LinkMBps float64
+	// NodeBase shifts the world's block placement: rank i lands on
+	// cluster node NodeBase + i/CoresPerNode. Multi-tenant sessions
+	// give each tenant's world a disjoint node range; the zero value
+	// is the single-tenant layout.
+	NodeBase int
+	// TelPrefix prefixes the world's telemetry metric names
+	// ("tenant.<name>." on a multi-tenant session), so each tenant's
+	// barrier counters stay separable in the merged snapshot. Empty
+	// means the bare "mpi.*" names.
+	TelPrefix string
 }
 
 // World is a set of ranks with MPI_COMM_WORLD semantics.
@@ -71,13 +82,13 @@ func NewWorld(eng *sim.Engine, cl *cluster.Cluster, size int, cfg Config) *World
 		cfg.LinkMBps = 1600
 	}
 	w := &World{Eng: eng, Cl: cl, cfg: cfg, size: size}
-	w.telBarriers = cl.Tel.Counter("mpi.barriers")
-	w.telBarrierWait = cl.Tel.Hist("mpi.barrier_wait_s")
+	w.telBarriers = cl.Tel.Counter(cfg.TelPrefix + "mpi.barriers")
+	w.telBarrierWait = cl.Tel.Hist(cfg.TelPrefix + "mpi.barrier_wait_s")
 	for i := 0; i < size; i++ {
 		w.ranks = append(w.ranks, &Rank{
 			ID:      i,
 			W:       w,
-			Node:    cl.NodeForTask(i),
+			Node:    cl.NodeForTask(cfg.NodeBase*cl.Prof.CoresPerNode + i),
 			inbox:   make(map[msgKey][]*message),
 			waiting: make(map[msgKey]*sim.WaitQueue),
 		})

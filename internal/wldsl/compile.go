@@ -268,6 +268,10 @@ func (p *Program) aggregatedMetaWrites() int {
 // Ranks is the MPI world size the program launches.
 func (p *Program) Ranks() int { return p.ranks }
 
+// Spec returns the compiled spec (read-only: mutating it does not
+// recompile).
+func (p *Program) Spec() *Spec { return p.spec }
+
 // Events is the compiled trace-event estimate (a Reserve floor).
 func (p *Program) Events() int { return p.events }
 
@@ -303,7 +307,18 @@ func (p *Program) Run(cfg RunConfig) *workloads.Run {
 		StripeCount:   p.spec.StripeCount,
 		ReserveEvents: p.events,
 	})
+	J.Launch(p.Body(J, cfg.Seed))
+	return J.Finish(p.spec.Name, p.spec.Tasks, p.total)
+}
 
+// Body prepares the program to run on an externally built job — a
+// tenant of a shared-platform session (internal/tenancy) or the solo
+// job Run builds — and returns the per-rank interpreter body for
+// Launch/Spawn. Pre-launch setup happens here, in a deterministic
+// order: the stage-one shipping groups on J's world, then the
+// compute-imbalance draws from the seed's dedicated stream (a solo
+// baseline passing the same seed reproduces the same compute times).
+func (p *Program) Body(J *workloads.Job, seed int64) func(r *mpi.Rank, tr *ipmio.Tracer) {
 	// Stage-one shipping groups: aggregator g's group is the perWriter
 	// consecutive ranks starting at g*perWriter, created pre-launch in
 	// writer order (the same deterministic order the hand-coded GCRM
@@ -319,9 +334,9 @@ func (p *Program) Run(cfg RunConfig) *workloads.Run {
 		}
 	}
 
-	factors := p.drawImbalance(cfg.Seed)
+	factors := p.drawImbalance(seed)
 
-	J.Launch(func(r *mpi.Rank, tr *ipmio.Tracer) {
+	return func(r *mpi.Rank, tr *ipmio.Tracer) {
 		ex := executor{p: p, J: J, r: r, tr: tr, fd: -1, factors: factors}
 		ex.writer, ex.w = p.writerOf(r.ID)
 		if groups != nil {
@@ -335,8 +350,7 @@ func (p *Program) Run(cfg RunConfig) *workloads.Run {
 				}
 			}
 		}
-	})
-	return J.Finish(p.spec.Name, p.spec.Tasks, p.total)
+	}
 }
 
 // writerOf maps a world rank to its writer role. Without two-stage

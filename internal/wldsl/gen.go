@@ -13,17 +13,17 @@ const genSeedSalt = 0x9e3d5c1
 // Generate returns a pseudo-random valid workload spec, drawn from
 // the scenario families the checked-in corpus covers: N-to-1 shared-
 // file writes, N-to-N file-per-process writes, bursty checkpoint
-// cycles, mixed write/read-back phases, and collective-buffered h5
-// dumps. The same seed always yields the same spec, and every
-// generated spec Validates, Compiles, and runs in well under a second
-// — they exist to be pushed through the determinism suite in bulk
-// (see TestGeneratedSpecsDeterministic).
+// cycles, mixed write/read-back phases, collective-buffered h5
+// dumps, and adversarial tiny-transfer floods. The same seed always
+// yields the same spec, and every generated spec Validates, Compiles,
+// and runs in well under a second — they exist to be pushed through
+// the determinism suite in bulk (see TestGeneratedSpecsDeterministic).
 //
 // Reads are only ever generated against extents a preceding phase
 // wrote, so a generated workload can never fault on missing data.
 func Generate(seed int64) *Spec {
 	rng := sim.NewRNG(seed ^ genSeedSalt)
-	switch rng.Intn(5) {
+	switch rng.Intn(6) {
 	case 0:
 		return genShared(seed, rng)
 	case 1:
@@ -32,9 +32,21 @@ func Generate(seed int64) *Spec {
 		return genCheckpoint(seed, rng)
 	case 3:
 		return genMixed(seed, rng)
-	default:
+	case 4:
 		return genH5(seed, rng)
+	default:
+		return genAdversarial(seed, rng)
 	}
+}
+
+// GenerateAdversarial returns a seeded spec from the adversarial
+// family directly: many ranks issuing tiny transfers that straddle the
+// platforms' small-I/O threshold (64 KiB), the access shape the
+// paper's IPM traces flag as pathological. Useful as a co-tenant when
+// stress-testing interference attribution — a flood of small strided
+// writes from a wide communicator is the canonical noisy neighbor.
+func GenerateAdversarial(seed int64) *Spec {
+	return genAdversarial(seed, sim.NewRNG(seed^genSeedSalt))
 }
 
 // geometry shared by the posix families.
@@ -124,6 +136,33 @@ func genMixed(seed int64, rng *sim.RNG) *Spec {
 			{Name: "read-phase", Ops: []Op{
 				{Op: "pread", Bytes: rt, Count: rk,
 					Offset: &Offset{PerRank: block, PerIter: rt}},
+				{Op: "barrier"},
+			}},
+			{Ops: []Op{{Op: "close"}}},
+		},
+	}
+}
+
+// genAdversarial emits the tiny-transfer/high-rank-count family:
+// 32-64 ranks, per-op sizes drawn from 4 KiB to 256 KiB — a spread
+// that deliberately straddles the 64 KiB SmallIOBytes threshold, so
+// some generated specs ride the metadata-class path and some sit just
+// above it. Op counts stay modest; the pathology is width and
+// granularity, not volume.
+func genAdversarial(seed int64, rng *sim.RNG) *Spec {
+	tasks := 32 << rng.Intn(2)              // 32, 64
+	transfer := int64(4<<10) << rng.Intn(7) // 4K .. 256K
+	k := 4 + rng.Intn(5)                    // 4-8 tiny transfers per phase
+	reps := 1 + rng.Intn(2)                 // 1-2 phase repetitions
+	block := transfer * int64(k)
+	return &Spec{
+		Name:  fmt.Sprintf("gen-adversarial-%d", seed),
+		Tasks: tasks,
+		Phases: []Phase{
+			{Ops: []Op{{Op: "open"}, {Op: "barrier"}}},
+			{Name: "flood-phase-%d", Repeat: reps, Ops: []Op{
+				{Op: "pwrite", Bytes: transfer, Count: k,
+					Offset: &Offset{PerRank: block, PerIter: transfer, PerPhase: block * int64(tasks)}},
 				{Op: "barrier"},
 			}},
 			{Ops: []Op{{Op: "close"}}},

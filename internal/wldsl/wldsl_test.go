@@ -322,8 +322,8 @@ func TestGenerateDeterministicAndValid(t *testing.T) {
 		fam, _, _ := strings.Cut(strings.TrimPrefix(a.Name, "gen-"), "-")
 		families[fam] = true
 	}
-	if len(families) < 5 {
-		t.Errorf("64 seeds hit only %d generator families, want all 5: %v", len(families), families)
+	if len(families) < 6 {
+		t.Errorf("64 seeds hit only %d generator families, want all 6: %v", len(families), families)
 	}
 }
 

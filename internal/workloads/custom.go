@@ -91,3 +91,35 @@ func (J *Job) Finish(name string, tasks int, totalBytes int64) *Run {
 // Telemetry exposes the job's sink (nil-safe no-op when telemetry is
 // disabled), for workload-level gauges.
 func (J *Job) Telemetry() *telemetry.Sink { return J.j.tel }
+
+// Spawn launches body on every rank at the job's start offset WITHOUT
+// driving the engine — the multi-tenant path. The session spawns every
+// tenant, then calls Session.Run once.
+func (J *Job) Spawn(body func(r *mpi.Rank, tr *ipmio.Tracer)) { J.j.spawn(body) }
+
+// FinishTenant assembles a tenant's run artifact after Session.Run:
+// collector, absolute last-rank finish time (Wall), and the shared
+// mount's final stats. Unlike Finish it folds no telemetry — the
+// session folds one merged stream for all tenants (Session.Fold).
+func (J *Job) FinishTenant(name string, tasks int, totalBytes int64) *Run {
+	return &Run{
+		Name:         name,
+		Tasks:        tasks,
+		Collector:    J.j.col,
+		Wall:         J.j.wall,
+		TotalBytes:   totalBytes,
+		FSStats:      J.j.fs.Stats(),
+		CoresPerNode: J.j.cl.Prof.CoresPerNode,
+	}
+}
+
+// StartSec is the virtual time the job's ranks actually launched (its
+// staggered start offset; 0 on solo runs).
+func (J *Job) StartSec() float64 { return float64(J.j.started) }
+
+// EndSec is the virtual time the job's last rank finished.
+func (J *Job) EndSec() float64 { return float64(J.j.wall) }
+
+// Usage snapshots the job's per-tenant slice of the server-side view
+// (meaningful only on session-attached jobs).
+func (J *Job) Usage() lustre.TenantUsage { return J.j.fs.TenantUsage(J.j.tenantIdx) }

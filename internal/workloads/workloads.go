@@ -7,8 +7,6 @@
 package workloads
 
 import (
-	"fmt"
-
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
@@ -63,59 +61,121 @@ func (r *Run) AggregateMBps() float64 {
 	return float64(r.TotalBytes) / 1e6 / float64(r.Wall)
 }
 
-// job wires up one simulated job: engine, cluster, file system, MPI
-// world, and a collector.
-type job struct {
+// platform is the shared substrate jobs run on: engine, cluster,
+// fabric, file system, POSIX layer, and the telemetry sink. A solo run
+// builds a platform per job (newJob); a multi-tenant session
+// (internal/tenancy) builds one platform and attaches several jobs
+// with staggered starts, so every tenant contends for the same fabric,
+// OSTs, and metadata service.
+type platform struct {
 	eng *sim.Engine
 	cl  *cluster.Cluster
 	fs  *lustre.FS
 	sys *posixio.System
-	w   *mpi.World
-	col *ipmio.Collector
 	tel *telemetry.Sink
 
 	scenario *faults.Scenario
 
-	finished int
-	wall     sim.Time
+	// pending counts attached jobs whose ranks have not all finished;
+	// the background-load injector stops only when it reaches zero, so
+	// a tenant finishing early does not silence the contention its
+	// neighbors still see.
+	pending int
 }
 
-func newJob(prof cluster.Profile, tasks int, seed int64, mode ipmio.Mode, withTel bool) *job {
+func newPlatform(prof cluster.Profile, nNodes int, seed int64, withTel bool) *platform {
 	eng := sim.NewEngine()
-	nodes := (tasks + prof.CoresPerNode - 1) / prof.CoresPerNode
-	cl := cluster.New(eng, prof, nodes, seed)
+	cl := cluster.New(eng, prof, nNodes, seed)
 	var tel *telemetry.Sink
 	if withTel {
 		tel = telemetry.New()
 	}
-	// Instrument before mounting lustre and building the MPI world:
+	// Instrument before mounting lustre and building the MPI worlds:
 	// both cache their metric handles from cl.Tel at construction. A
 	// nil sink hands out nil handles, which no-op.
 	cl.Instrument(tel)
 	fs := lustre.NewFS(cl)
-	return &job{
-		eng: eng,
-		cl:  cl,
-		fs:  fs,
-		sys: posixio.NewSystem(fs),
-		w:   mpi.NewWorld(eng, cl, tasks, mpi.Config{}),
-		col: ipmio.NewCollector(mode),
-		tel: tel,
-	}
+	return &platform{eng: eng, cl: cl, fs: fs, sys: posixio.NewSystem(fs), tel: tel}
 }
 
 // applyFaults installs a degradation scenario (if any) on the freshly
 // built machine and mounted file system, before launch. The scenario
 // is retained so telemetry can derive its fault windows at finish.
-func (j *job) applyFaults(s *faults.Scenario) {
+func (pl *platform) applyFaults(s *faults.Scenario) {
 	if s == nil {
 		return
 	}
-	if err := s.Apply(j.cl, j.fs); err != nil {
+	if err := s.Apply(pl.cl, pl.fs); err != nil {
 		panic(err)
 	}
-	j.scenario = s
+	pl.scenario = s
 }
+
+// jobDone records one attached job's completion (its last rank
+// finished) and stops the background-load injectors once every
+// attached job is done, so the event queue can drain.
+func (pl *platform) jobDone() {
+	pl.pending--
+	if pl.pending == 0 {
+		pl.cl.StopBackground()
+	}
+}
+
+// job wires up one simulated job on a platform: an MPI world, a
+// collector, and (on multi-tenant sessions) a tenant identity plus a
+// virtual-time start offset.
+type job struct {
+	plat *platform
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	fs   *lustre.FS
+	sys  *posixio.System
+	w    *mpi.World
+	col  *ipmio.Collector
+	tel  *telemetry.Sink
+
+	// Tenant identity on a shared platform: name tags the job's spans
+	// and counters, tenantIdx is its lustre accounting bucket, startAt
+	// is its staggered start. All zero on solo runs.
+	tenant    string
+	tenantIdx int
+	startAt   sim.Time
+
+	finished int
+	started  sim.Time
+	wall     sim.Time
+
+	// Fast-forward window samples at the job's start and last-rank
+	// finish, so a session can report per-tenant fast-forwarded
+	// fractions rather than only the global one.
+	ffStart, ffEnd       float64
+	jumpsStart, jumpsEnd uint64
+}
+
+// attach builds a job on the platform: an MPI world placed per mcfg
+// and a fresh collector. Construction order matches what the solo path
+// always did (world after fs/sys), so solo artifacts stay byte-stable.
+func (pl *platform) attach(tasks int, mode ipmio.Mode, mcfg mpi.Config) *job {
+	pl.pending++
+	return &job{
+		plat: pl,
+		eng:  pl.eng,
+		cl:   pl.cl,
+		fs:   pl.fs,
+		sys:  pl.sys,
+		w:    mpi.NewWorld(pl.eng, pl.cl, tasks, mcfg),
+		col:  ipmio.NewCollector(mode),
+		tel:  pl.tel,
+	}
+}
+
+func newJob(prof cluster.Profile, tasks int, seed int64, mode ipmio.Mode, withTel bool) *job {
+	nodes := (tasks + prof.CoresPerNode - 1) / prof.CoresPerNode
+	pl := newPlatform(prof, nodes, seed, withTel)
+	return pl.attach(tasks, mode, mpi.Config{})
+}
+
+func (j *job) applyFaults(s *faults.Scenario) { j.plat.applyFaults(s) }
 
 // finish snapshots the per-run server-side state into the artifact.
 func (j *job) finish(r *Run) *Run {
@@ -153,47 +213,12 @@ func (j *job) foldTelemetry(r *Run) {
 	}
 
 	st := &r.FSStats
-	for _, c := range []struct {
-		name string
-		v    float64
-	}{
-		{"lustre.write_jobs", float64(st.WriteJobs)},
-		{"lustre.write_mb", st.WriteMB},
-		{"lustre.read_calls", float64(st.ReadCalls)},
-		{"lustre.read_mb", st.ReadMB},
-		{"lustre.absorbed_mb", st.AbsorbedMB},
-		{"lustre.drain_chunks", float64(st.DrainChunks)},
-		{"lustre.conflicts", float64(st.Conflicts)},
-		{"lustre.luck_capped", float64(st.LuckCapped)},
-		{"lustre.mds_ops", float64(st.MDSOps)},
-		{"lustre.mds_slow_ops", float64(st.MDSSlowOps)},
-		{"lustre.small_writes", float64(st.SmallWrites)},
-	} {
-		if c.v != 0 {
-			tel.Counter(c.name).Add(c.v)
-		}
-	}
+	foldLustreCounters(tel, st)
 
 	// Per-OST accounting, including injected stall exposure derived
 	// from the fault scenario's windows (nil scenario -> no stalls).
-	stalls := j.scenario.StallSeconds(wall, len(st.PerOST))
-	for i := range st.PerOST {
-		o := &st.PerOST[i]
-		stall := 0.0
-		if stalls != nil {
-			stall = stalls[i]
-		}
-		if o.Streams == 0 && stall == 0 {
-			continue
-		}
-		prefix := fmt.Sprintf("lustre.ost%03d.", i)
-		tel.Counter(prefix + "streams").Add(float64(o.Streams))
-		tel.Counter(prefix + "mb").Add(o.MB)
-		tel.Counter(prefix + "seconds").Add(o.Seconds)
-		if stall > 0 {
-			tel.Counter(prefix + "stall_s").Add(stall)
-		}
-	}
+	stalls := j.plat.scenario.StallSeconds(wall, len(st.PerOST))
+	foldPerOST(tel, "lustre.", st.PerOST, stalls)
 
 	marks := j.col.Marks
 	for i, m := range marks {
@@ -203,7 +228,7 @@ func (j *job) foldTelemetry(r *Run) {
 		}
 		tel.Span("phase", m.Name, -1, float64(m.T), end)
 	}
-	for _, w := range j.scenario.Windows(wall) {
+	for _, w := range j.plat.scenario.Windows(wall) {
 		tel.Span("fault", w.Label, -1, w.T0, w.T1)
 	}
 	for i := range j.col.Events {
@@ -215,20 +240,41 @@ func (j *job) foldTelemetry(r *Run) {
 	r.Spans = tel.Spans()
 }
 
-// launch runs body on every rank, tracking the makespan and stopping
-// the background-load injector when the last rank completes.
+// spawn launches body on every rank at the job's start offset without
+// driving the engine — a multi-tenant session spawns every tenant,
+// then runs the shared engine once. The makespan and the per-job
+// fast-forward window are tracked here; the platform is notified when
+// the last rank completes.
+func (j *job) spawn(body func(r *mpi.Rank, tr *ipmio.Tracer)) {
+	run := func() {
+		j.started = j.eng.Now()
+		j.ffStart = j.eng.FastForwardSeconds()
+		j.jumpsStart = j.eng.FastForwardJumps()
+		j.w.Launch(func(r *mpi.Rank) {
+			tr := ipmio.NewTracer(j.sys.NewTask(r.ID, r.Node), j.col)
+			body(r, tr)
+			j.finished++
+			if r.P.Now() > j.wall {
+				j.wall = r.P.Now()
+			}
+			if j.finished == j.w.Size() {
+				j.ffEnd = j.eng.FastForwardSeconds()
+				j.jumpsEnd = j.eng.FastForwardJumps()
+				j.plat.jobDone()
+			}
+		})
+	}
+	if j.startAt > 0 {
+		j.eng.At(j.startAt, run)
+	} else {
+		run()
+	}
+}
+
+// launch runs body on every rank and drives the engine to completion
+// (the solo-run path).
 func (j *job) launch(body func(r *mpi.Rank, tr *ipmio.Tracer)) {
-	j.w.Launch(func(r *mpi.Rank) {
-		tr := ipmio.NewTracer(j.sys.NewTask(r.ID, r.Node), j.col)
-		body(r, tr)
-		j.finished++
-		if r.P.Now() > j.wall {
-			j.wall = r.P.Now()
-		}
-		if j.finished == j.w.Size() {
-			j.cl.StopBackground()
-		}
-	})
+	j.spawn(body)
 	j.eng.Run()
 }
 
