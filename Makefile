@@ -5,7 +5,7 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 
-.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard fastpath-ablation dsl-golden interference-golden ci
+.PHONY: build test race race-stress lint lint-sarif lint-testdata fmt vet fuzz-smoke bench bench-smoke trace-smoke bench-guard cache-golden fastpath-ablation dsl-golden interference-golden ci
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,35 @@ fastpath-ablation:
 	diff -r out/ablation/on out/ablation/off
 	@echo "fastpath-ablation: analytic on/off artifacts byte-identical"
 
+# cache-golden: the content-addressed run cache must be invisible in
+# the bytes. A cold wlrun batch (analytic on, -j 4) populates the
+# store; a warm pass over the same grid from the other sim path and
+# worker count (-analytic off, -j 1, -cache-verify recomputing every
+# hit) must emit byte-identical artifacts. Then the checked-in
+# campaign grid runs cold and warm through ensemblecampaign — same
+# diff — and ensembletop digests the cache counters into the
+# effectiveness line.
+cache-golden:
+	@rm -rf out/cache && mkdir -p out/cache/cold out/cache/warm out/cache/camp-cold out/cache/camp-warm
+	$(GO) run ./cmd/wlrun -spec testdata/scenarios/workloads/ior-shared.json -gen 3-4 \
+		-faults testdata/scenarios/flaky-ost.json -runs 2 -j 4 \
+		-cache out/cache/store -out out/cache/cold > out/cache/cold.txt
+	$(GO) run ./cmd/wlrun -spec testdata/scenarios/workloads/ior-shared.json -gen 3-4 \
+		-faults testdata/scenarios/flaky-ost.json -runs 2 -j 1 -analytic off \
+		-cache out/cache/store -cache-verify -out out/cache/warm > out/cache/warm.txt
+	diff -r out/cache/cold out/cache/warm
+	grep -q 'cache: 0 hit' out/cache/cold.txt
+	grep -q 'cache: 6 hit.*verified' out/cache/warm.txt
+	$(GO) run ./cmd/ensemblecampaign -campaign testdata/scenarios/campaigns/whatif-sweep.json \
+		-j 4 -cache out/cache/campstore -out out/cache/camp-cold \
+		-telemetry out/cache/camp.telemetry.json > /dev/null
+	$(GO) run ./cmd/ensemblecampaign -campaign testdata/scenarios/campaigns/whatif-sweep.json \
+		-j 1 -cache out/cache/campstore -cache-verify -out out/cache/camp-warm > /dev/null
+	diff -r out/cache/camp-cold out/cache/camp-warm
+	$(GO) run ./cmd/ensembletop out/cache/camp.telemetry.json > out/cache/top.txt
+	grep -q '^cache: served' out/cache/top.txt
+	@echo "cache-golden: cache-served artifacts byte-identical across sim paths and worker counts"
+
 # bench-guard: the telemetry-off hot path must stay within noise of
 # the checked-in baseline. Three repetitions of the focused benchmarks,
 # best-of compared against the baseline's best — generous time slack
@@ -107,7 +136,7 @@ fastpath-ablation:
 # a tight memory slack (allocs/op is nearly deterministic, so eroding
 # allocation wins trip the guard long before they show up as time).
 bench-guard:
-	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkSimulatorThroughputSingle$$|BenchmarkFastForward$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkSimulatorThroughputSingle$$|BenchmarkFastForward$$|BenchmarkCacheHitMRU$$|BenchmarkCacheCampaign' \
 		-benchmem -benchtime 1x -count 3 . | \
 		$(GO) run ./cmd/benchjson -check BENCH_ensembleio.json -slack 3.0 -memslack 1.25
 
@@ -151,5 +180,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzSpanDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzMetricsDecode$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt
 	$(GO) test -run='^$$' -fuzz='FuzzSpecDecode$$' -fuzztime=$(FUZZTIME) ./internal/wldsl
+	$(GO) test -run='^$$' -fuzz='FuzzScenarioKey$$' -fuzztime=$(FUZZTIME) ./internal/cascache
 
-ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation dsl-golden interference-golden bench-guard fuzz-smoke
+ci: build lint lint-testdata race race-stress bench-smoke trace-smoke fastpath-ablation dsl-golden interference-golden cache-golden bench-guard fuzz-smoke

@@ -366,3 +366,101 @@ func BenchmarkFastForward(b *testing.B) {
 		})
 	}
 }
+
+// --- Content-addressed cache (cascache) hot paths ---
+
+// cacheBenchGrid is the headline campaign shape from the cache design:
+// n scenarios with ~50% duplicates (each unique scenario appears
+// twice), spread over 25 generated workloads.
+func cacheBenchGrid(n int) []CampaignEntry {
+	entries := make([]CampaignEntry, 0, n)
+	for i := 0; i < n; i++ {
+		u := int64(i / 2)
+		entries = append(entries, CampaignEntry{
+			Name:     "grid",
+			Spec:     GenerateWorkload(u % 25),
+			Platform: Franklin(),
+			Seed:     u / 25,
+		})
+	}
+	return entries
+}
+
+// BenchmarkCacheHitMRU is the pure serve path: Gets against an entry
+// already resident in the in-process MRU layer, batched 1024 per
+// iteration so -benchtime 1x sits above timer granularity. This is
+// the per-scenario cost a warm campaign pays, so allocs/op is gated
+// exactly (bench-guard treats a zero memory baseline as "any
+// allocation is a regression") to keep the hot path heap-free.
+func BenchmarkCacheHitMRU(b *testing.B) {
+	store, err := OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := GenerateWorkload(1)
+	key, err := ScenarioCacheKey(spec, Franklin(), nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Put(key, CacheMeta{Workload: spec.Name, Seed: 1},
+		[]CacheArtifact{{Name: "trace.bin", Data: bytes.Repeat([]byte{0xab}, 4096)}}); err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := store.Get(key); !ok {
+		b.Fatal("warm-up Get missed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			if _, ok := store.Get(key); !ok {
+				b.Fatal("MRU Get missed")
+			}
+		}
+	}
+}
+
+// BenchmarkCacheCampaignCold100 runs the acceptance campaign — 100
+// scenarios, ~50% duplicates — against an empty store: every unique
+// scenario simulates, then publishes. BenchmarkCacheCampaignWarm100
+// is the same grid against the populated store: nothing simulates.
+// The checked-in ratio between the two (warm >= 2x cold, in practice
+// far more) is the cache's reason to exist; bench-guard holds both
+// sides to their checked-in numbers.
+func BenchmarkCacheCampaignCold100(b *testing.B) {
+	entries := cacheBenchGrid(100)
+	for i := 0; i < b.N; i++ {
+		store, err := OpenCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, stats, err := RunCampaign(entries, CampaignOptions{Workers: 4, Store: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Misses != stats.Unique {
+			b.Fatalf("cold stats %+v", stats)
+		}
+	}
+}
+
+func BenchmarkCacheCampaignWarm100(b *testing.B) {
+	entries := cacheBenchGrid(100)
+	store, err := OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := RunCampaign(entries, CampaignOptions{Workers: 4, Store: store}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := RunCampaign(entries, CampaignOptions{Workers: 4, Store: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Misses != 0 || stats.Hits != stats.Unique {
+			b.Fatalf("warm stats %+v", stats)
+		}
+	}
+}

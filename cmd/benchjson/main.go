@@ -200,7 +200,22 @@ func checkRun(run, base baseline, slack, memSlack float64) (oks, failures []stri
 		for _, g := range gates {
 			bv, okBase := best(bm[g.metric])
 			nv, okRun := best(run.Benchmarks[name][g.metric])
-			if !okBase || !okRun || bv <= 0 {
+			if !okBase || !okRun {
+				continue
+			}
+			if bv <= 0 {
+				// A ratio against zero is meaningless for time, but a
+				// zero memory baseline is the strongest gate there is:
+				// the path was allocation-free when recorded, so any
+				// allocation at all is a regression.
+				if g.metric == "ns/op" || nv <= 0 {
+					continue
+				}
+				failed = true
+				cols = append(cols, fmt.Sprintf("%.0f %s", nv, g.metric))
+				failures = append(failures,
+					fmt.Sprintf("%s: %.0f %s vs allocation-free baseline 0",
+						short, nv, g.metric))
 				continue
 			}
 			ratio := nv / bv

@@ -101,3 +101,31 @@ func TestCheckRunSuffixAndOverlap(t *testing.T) {
 		t.Fatalf("disjoint benchmarks should not compare, compared = %d", compared)
 	}
 }
+
+// TestCheckRunZeroAllocBaselineIsExact: a baseline recorded at zero
+// allocs/op (the cache MRU hit path) admits no slack — the first
+// allocation that creeps in fails the guard, while staying at zero
+// keeps passing.
+func TestCheckRunZeroAllocBaselineIsExact(t *testing.T) {
+	base := bl("BenchmarkCacheHitMRU", map[string][]float64{
+		"ns/op": {500}, "allocs/op": {0, 0, 0}, "B/op": {0, 0, 0},
+	})
+	still := bl("BenchmarkCacheHitMRU", map[string][]float64{
+		"ns/op": {600}, "allocs/op": {0}, "B/op": {0},
+	})
+	if _, failures, compared := checkRun(still, base, 3.0, 1.25); len(failures) != 0 || compared != 1 {
+		t.Fatalf("zero-alloc run against zero-alloc baseline: failures %v, compared %d", failures, compared)
+	}
+	grew := bl("BenchmarkCacheHitMRU", map[string][]float64{
+		"ns/op": {600}, "allocs/op": {2}, "B/op": {64},
+	})
+	_, failures, _ := checkRun(grew, base, 3.0, 1.25)
+	if len(failures) != 2 {
+		t.Fatalf("want allocs/op and B/op failures against allocation-free baseline, got %v", failures)
+	}
+	for _, f := range failures {
+		if !strings.Contains(f, "allocation-free baseline") {
+			t.Errorf("failure %q should name the allocation-free baseline", f)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	ensembleduel -spec a.json -spec b.json [-stagger 0,5]
 //	    [-machine franklin|franklin-patched|jaguar] [-seed N]
 //	    [-faults scenario.json] [-analytic on|off]
+//	    [-cache DIR] [-cache-verify]
 //	    [-telemetry FILE] [-spans FILE] [-report FILE] [-out DIR]
 //	    [-binsec F] [-top N] [-json] [-prof PREFIX] [-version]
 //
@@ -19,12 +20,21 @@
 // artifact set — per-tenant traces, the merged telemetry snapshot and
 // span stream, and the interference report JSON — every byte of which
 // is identical across -j worker counts and -analytic on/off.
+//
+// -cache DIR memoizes the whole session — co-run plus the solo
+// baselines — in the content-addressed run cache (internal/cascache),
+// keyed on platform, faults, seed, bin width, and every tenant's spec,
+// name, and start offset. A hit serves the full artifact set
+// byte-identically; -cache-verify recomputes on every hit and fails on
+// any difference.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -32,6 +42,7 @@ import (
 	"strings"
 
 	"ensembleio"
+	"ensembleio/internal/cascache"
 	"ensembleio/internal/cliutil"
 	"ensembleio/internal/report"
 )
@@ -63,6 +74,7 @@ func main() {
 		profOut  = flag.String("prof", "", "write CPU/heap profiles to PREFIX.{cpu,heap}.pprof")
 		version  = flag.Bool("version", false, "print build version and exit")
 	)
+	cacheDir, cacheVerify := cliutil.CacheFlags()
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected argument %q (all inputs are flags)", flag.Arg(0))
@@ -114,17 +126,60 @@ func main() {
 		}
 	}
 
+	if *cacheVerify && *cacheDir == "" {
+		log.Fatal("-cache-verify needs -cache DIR")
+	}
 	cfg := ensembleio.TenancyConfig{
 		Machine:   prof,
 		Seed:      *seed,
 		Faults:    fs,
 		Telemetry: true,
 	}
-	res, err := ensembleio.RunTenants(cfg, tenants)
-	if err != nil {
-		log.Fatal(err)
+	// compute runs the session (co-run plus solo baselines) and
+	// serializes the full artifact set.
+	compute := func() []cascache.Artifact {
+		res, err := ensembleio.RunTenants(cfg, tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := ensembleio.AnalyzeInterference(cfg, tenants, res, ensembleio.InterferenceConfig{BinSec: *binSec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		arts, err := captureDuel(res, rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return arts
 	}
-	rep, err := ensembleio.AnalyzeInterference(cfg, tenants, res, ensembleio.InterferenceConfig{BinSec: *binSec})
+
+	var arts []cascache.Artifact
+	var store *cascache.Store
+	if *cacheDir != "" {
+		if store, err = cascache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		key, err := duelKey(prof, fs, *seed, *binSec, tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ent, ok := store.Get(key); ok {
+			arts = ent.Artifacts
+			if *cacheVerify {
+				if err := cascache.DiffArtifacts(arts, compute()); err != nil {
+					log.Fatalf("cache verify: %v", err)
+				}
+			}
+		} else {
+			arts = compute()
+			if err := store.Put(key, duelMeta(*seed, tenants, arts), arts); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		arts = compute()
+	}
+	rep, totals, err := decodeDuel(arts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,41 +187,36 @@ func main() {
 	if *jsonOut {
 		printJSON(rep)
 	} else {
-		printReport(res, rep, *top)
+		printReport(totals, rep, *top)
+		if store != nil {
+			st := store.Stats()
+			verified := ""
+			if *cacheVerify {
+				verified = ", verified"
+			}
+			fmt.Printf("cache: %d hit(s), %d miss(es)%s\n", st.Hits, st.Misses, verified)
+		}
 	}
 
 	if *telOut != "" {
-		writeFile(*telOut, func(f *os.File) error {
-			return ensembleio.SaveTelemetrySnapshot(f, res.Telemetry)
-		})
+		writeArtifact(*telOut, arts, "session.telemetry.json")
 	}
 	if *spansOut != "" {
-		writeFile(*spansOut, func(f *os.File) error {
-			return ensembleio.SaveSpanList(f, res.Spans)
-		})
+		writeArtifact(*spansOut, arts, "session.spans.jsonl")
 	}
 	if *repOut != "" {
-		writeFile(*repOut, func(f *os.File) error { return writeReport(f, rep) })
+		writeArtifact(*repOut, arts, "interference.json")
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		for i := range res.Tenants {
-			t := &res.Tenants[i]
-			writeFile(filepath.Join(*outDir, t.Name+".trace.bin"), func(f *os.File) error {
-				return ensembleio.SaveTrace(f, t.Run)
-			})
+		for _, a := range arts {
+			if a.Name == duelSummaryName {
+				continue // internal to the cache entry
+			}
+			writeArtifact(filepath.Join(*outDir, a.Name), arts, a.Name)
 		}
-		writeFile(filepath.Join(*outDir, "session.telemetry.json"), func(f *os.File) error {
-			return ensembleio.SaveTelemetrySnapshot(f, res.Telemetry)
-		})
-		writeFile(filepath.Join(*outDir, "session.spans.jsonl"), func(f *os.File) error {
-			return ensembleio.SaveSpanList(f, res.Spans)
-		})
-		writeFile(filepath.Join(*outDir, "interference.json"), func(f *os.File) error {
-			return writeReport(f, rep)
-		})
 		fmt.Printf("artifacts written to %s\n", *outDir)
 	}
 }
@@ -247,7 +297,7 @@ func tenantName(name string, taken []ensembleio.Tenant) string {
 
 // writeReport serializes the interference report in its canonical
 // encoding: indented JSON, struct field order, trailing newline.
-func writeReport(f *os.File, rep *ensembleio.InterferenceReport) error {
+func writeReport(f io.Writer, rep *ensembleio.InterferenceReport) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -276,13 +326,15 @@ func writeFile(path string, save func(*os.File) error) {
 }
 
 // printReport renders the human-readable tables: tenants, contention
-// windows, victim/aggressor ranking.
-func printReport(res *ensembleio.TenancyResult, rep *ensembleio.InterferenceReport, top int) {
+// windows, victim/aggressor ranking. totals carries each tenant's
+// logical byte volume, in rep.Tenants order (it comes from the
+// session summary so cache-served sessions print identically).
+func printReport(totals []int64, rep *ensembleio.InterferenceReport, top int) {
 	rows := [][]string{{"tenant", "start_s", "end_s", "dur_s", "solo_s", "slowdown", "io_share", "ost_share", "agg MB/s"}}
 	for i, t := range rep.Tenants {
 		agg := 0.0
-		if i < len(res.Tenants) && t.DurationSec > 0 {
-			agg = float64(res.Tenants[i].Run.TotalBytes) / 1e6 / t.DurationSec
+		if i < len(totals) && t.DurationSec > 0 {
+			agg = float64(totals[i]) / 1e6 / t.DurationSec
 		}
 		rows = append(rows, []string{
 			t.Name,
@@ -335,4 +387,174 @@ func printReport(res *ensembleio.TenancyResult, rep *ensembleio.InterferenceRepo
 	}
 	fmt.Println("victim/aggressor ranking")
 	report.Table(os.Stdout, rows)
+}
+
+// Duel cache plumbing: the whole session (co-run plus solo baselines)
+// is memoized under one content-addressed key. The artifact set is
+// exactly the -out file set plus a small summary the tables need.
+
+// duelSummaryName is the cache-internal artifact carrying per-tenant
+// totals (it is not written by -out).
+const duelSummaryName = "summary.json"
+
+// duelSummary preserves the bits of the in-memory session the report
+// tables need but the other artifacts don't carry directly.
+type duelSummary struct {
+	Tenants []duelTenantSummary `json:"tenants"`
+}
+
+type duelTenantSummary struct {
+	Name       string `json:"name"`
+	TotalBytes int64  `json:"total_bytes"`
+}
+
+// duelKey derives the session's canonical cache key. The bin width is
+// included because it shapes the interference report artifact; -top
+// and -json are presentation-only and excluded. Tenant names are
+// included because they appear inside artifact bytes (trace file
+// names, telemetry counter names).
+func duelKey(prof ensembleio.Platform, fs *ensembleio.Scenario, seed int64, binSec float64, tenants []ensembleio.Tenant) (cascache.Key, error) {
+	plat, err := cascache.CanonicalPlatform(prof)
+	if err != nil {
+		return cascache.Key{}, err
+	}
+	fb, err := ensembleio.CanonicalScenario(fs)
+	if err != nil {
+		return cascache.Key{}, err
+	}
+	b := cascache.NewBuilder().
+		Section("kind", []byte("duel")).
+		Section("platform", plat).
+		Section("faults", fb).
+		Int64("seed", seed).
+		Float64("binsec", binSec)
+	for _, t := range tenants {
+		wl, err := ensembleio.CanonicalWorkloadBytes(t.Spec)
+		if err != nil {
+			return cascache.Key{}, err
+		}
+		b.Section("tenant.spec", wl).
+			Section("tenant.name", []byte(t.Name)).
+			Float64("tenant.start", t.StartSec)
+	}
+	return b.Key(), nil
+}
+
+// captureDuel serializes the session into its cache artifact set:
+// the interference report, merged spans and telemetry, the summary,
+// and one trace per tenant — each encoded exactly as the -out files.
+func captureDuel(res *ensembleio.TenancyResult, rep *ensembleio.InterferenceReport) ([]cascache.Artifact, error) {
+	var arts []cascache.Artifact
+	add := func(name string, write func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			return fmt.Errorf("capturing %s: %w", name, err)
+		}
+		arts = append(arts, cascache.Artifact{Name: name, Data: buf.Bytes()})
+		return nil
+	}
+	if err := add("interference.json", func(w io.Writer) error { return writeReport(w, rep) }); err != nil {
+		return nil, err
+	}
+	if err := add("session.spans.jsonl", func(w io.Writer) error {
+		return ensembleio.SaveSpanList(w, res.Spans)
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("session.telemetry.json", func(w io.Writer) error {
+		return ensembleio.SaveTelemetrySnapshot(w, res.Telemetry)
+	}); err != nil {
+		return nil, err
+	}
+	sum := duelSummary{}
+	for i := range res.Tenants {
+		sum.Tenants = append(sum.Tenants, duelTenantSummary{
+			Name:       res.Tenants[i].Name,
+			TotalBytes: res.Tenants[i].Run.TotalBytes,
+		})
+	}
+	if err := add(duelSummaryName, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}); err != nil {
+		return nil, err
+	}
+	for i := range res.Tenants {
+		t := &res.Tenants[i]
+		if err := add(t.Name+".trace.bin", func(w io.Writer) error {
+			return ensembleio.SaveTrace(w, t.Run)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return arts, nil
+}
+
+// duelMeta summarizes the session for the cache index.
+func duelMeta(seed int64, tenants []ensembleio.Tenant, arts []cascache.Artifact) cascache.Meta {
+	names := make([]string, len(tenants))
+	tasks := 0
+	for i, t := range tenants {
+		names[i] = t.Name
+		tasks += t.Spec.Tasks
+	}
+	var total int64
+	for _, a := range arts {
+		if a.Name == duelSummaryName {
+			var sum duelSummary
+			if json.Unmarshal(a.Data, &sum) == nil {
+				for _, t := range sum.Tenants {
+					total += t.TotalBytes
+				}
+			}
+		}
+	}
+	return cascache.Meta{
+		Workload:   "duel:" + strings.Join(names, "+"),
+		Seed:       seed,
+		Tasks:      tasks,
+		TotalBytes: total,
+	}
+}
+
+// decodeDuel recovers the report and per-tenant totals from an
+// artifact set, served or fresh.
+func decodeDuel(arts []cascache.Artifact) (*ensembleio.InterferenceReport, []int64, error) {
+	var rep *ensembleio.InterferenceReport
+	var totals []int64
+	for _, a := range arts {
+		switch a.Name {
+		case "interference.json":
+			rep = &ensembleio.InterferenceReport{}
+			if err := json.Unmarshal(a.Data, rep); err != nil {
+				return nil, nil, fmt.Errorf("interference.json: %w", err)
+			}
+		case duelSummaryName:
+			var sum duelSummary
+			if err := json.Unmarshal(a.Data, &sum); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", duelSummaryName, err)
+			}
+			for _, t := range sum.Tenants {
+				totals = append(totals, t.TotalBytes)
+			}
+		}
+	}
+	if rep == nil {
+		return nil, nil, fmt.Errorf("artifact set lacks interference.json")
+	}
+	return rep, totals, nil
+}
+
+// writeArtifact writes one named artifact of the set to path.
+func writeArtifact(path string, arts []cascache.Artifact, name string) {
+	for _, a := range arts {
+		if a.Name == name {
+			if err := os.WriteFile(path, a.Data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
+	log.Fatalf("%s: artifact %s missing from session", path, name)
 }

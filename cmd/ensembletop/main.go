@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"ensembleio/internal/cliutil"
+	"ensembleio/internal/ensemble/campaign"
 	"ensembleio/internal/report"
 	"ensembleio/internal/telemetry"
 	"ensembleio/internal/tracefmt"
@@ -69,6 +70,7 @@ func main() {
 	if agg != nil {
 		printFastForward(agg)
 		printTenantFastForward(agg, *tenant)
+		printCacheEffectiveness(agg)
 		if *tenant != "" {
 			agg = filterTenant(agg, *tenant)
 		}
@@ -237,6 +239,40 @@ func printTenantFastForward(s *telemetry.Snapshot, name string) {
 	}
 }
 
+// printCacheEffectiveness prints the one-line cache summary when the
+// snapshot carries the cascache.* counter family (written by
+// ensemblecampaign -telemetry; aggregates across files like any other
+// counters). Snapshots without the family print nothing.
+func printCacheEffectiveness(s *telemetry.Snapshot) {
+	if line, ok := cacheEffectivenessLine(s); ok {
+		fmt.Println(line)
+		fmt.Println()
+	}
+}
+
+func cacheEffectivenessLine(s *telemetry.Snapshot) (string, bool) {
+	get := func(metric string) float64 { return s.Counter(campaign.CounterPrefix + metric) }
+	scenarios := get("scenarios")
+	if scenarios <= 0 {
+		return "", false
+	}
+	hits, dups, misses := get("hits"), get("dup_hits"), get("misses")
+	served := hits + dups
+	return fmt.Sprintf("cache: served %.0f of %.0f scenario(s) (%.1f%%) — %.0f hit(s), %.0f dup(s), %.0f miss(es); %s served, %s computed",
+		served, scenarios, 100*served/scenarios, hits, dups, misses,
+		fmtBytes(get("bytes_served")), fmtBytes(get("bytes_computed"))), true
+}
+
+func fmtBytes(n float64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", n/(1<<10))
+	}
+	return fmt.Sprintf("%.0f B", n)
+}
+
 // filterTenant restricts a session snapshot to one tenant's counters,
 // stripping the "tenant.NAME." prefix so the remaining tables read
 // like a solo run's (per-OST counters become "ostNNN.*").
@@ -353,15 +389,22 @@ func ostIndex(name string) int {
 	return n
 }
 
+// skipOSTFamily reports counter families the per-OST table must not
+// fold in: tenant per-OST slices would double-count against the
+// global family (the -tenant filter is the view onto those), and the
+// cascache.* cache counters are campaign-level, never per-OST traffic.
+func skipOSTFamily(name string) bool {
+	return strings.HasPrefix(name, "tenant.") ||
+		strings.HasPrefix(name, campaign.CounterPrefix)
+}
+
 // printOSTs renders the per-OST hot-spot table: the servers carrying
 // the most traffic and — the diagnostic payoff — any with injected
 // stall time, sorted so stalled then busiest OSTs lead.
 func printOSTs(s *telemetry.Snapshot, top int) {
 	stats := map[int]*ostStat{}
 	for _, c := range s.Counters {
-		// Tenant per-OST slices would double-count against the global
-		// family here; the -tenant filter is the view onto those.
-		if strings.HasPrefix(c.Name, "tenant.") {
+		if skipOSTFamily(c.Name) {
 			continue
 		}
 		i := ostIndex(c.Name)

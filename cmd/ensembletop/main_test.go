@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ensembleio/internal/telemetry"
+)
+
+func TestCacheEffectivenessLine(t *testing.T) {
+	snap := &telemetry.Snapshot{Counters: []telemetry.CounterSnap{
+		{Name: "cascache.bytes_computed", Value: 1024},
+		{Name: "cascache.bytes_served", Value: 3 << 20},
+		{Name: "cascache.dup_hits", Value: 2},
+		{Name: "cascache.hits", Value: 5},
+		{Name: "cascache.misses", Value: 3},
+		{Name: "cascache.scenarios", Value: 10},
+		{Name: "cascache.unique", Value: 8},
+	}}
+	line, ok := cacheEffectivenessLine(snap)
+	if !ok {
+		t.Fatal("cache counter family not recognized")
+	}
+	for _, want := range []string{"served 7 of 10", "70.0%", "5 hit(s)", "2 dup(s)", "3 miss(es)", "3.0 MB served", "1.0 KB computed"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+
+	// Snapshots without the family must print nothing.
+	if _, ok := cacheEffectivenessLine(&telemetry.Snapshot{Counters: []telemetry.CounterSnap{
+		{Name: "sim.virtual_seconds", Value: 100},
+	}}); ok {
+		t.Fatal("cache line emitted for a snapshot without cascache counters")
+	}
+}
+
+// The per-OST table guard: tenant slices and the cascache family must
+// never fold into the global per-OST rows.
+func TestSkipOSTFamily(t *testing.T) {
+	skip := []string{
+		"tenant.a.ost001.mb",
+		"tenant.a.lustre.ost001.mb",
+		"cascache.hits",
+		"cascache.ost001.bytes_served", // hypothetical per-OST cache metric: still campaign-level
+	}
+	keep := []string{
+		"lustre.ost001.mb",
+		"ost001.mb", // -tenant filter output
+		"sim.virtual_seconds",
+	}
+	for _, name := range skip {
+		if !skipOSTFamily(name) {
+			t.Errorf("skipOSTFamily(%q) = false, want true", name)
+		}
+	}
+	for _, name := range keep {
+		if skipOSTFamily(name) {
+			t.Errorf("skipOSTFamily(%q) = true, want false", name)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	"ensembleio"
+	"ensembleio/internal/wldsl"
+)
+
+// Regression: two distinct specs sharing a name in one batch used to
+// produce identical NAME-seedS artifact basenames, so the second run's
+// files silently overwrote the first's. The scenario-key prefix now
+// keeps every batch entry's files distinct.
+func TestArtifactBasenamesNeverCollide(t *testing.T) {
+	a := wldsl.Generate(1)
+	b := wldsl.Generate(2)
+	b.Name = a.Name // two different workloads, one display name
+	specs := []*ensembleio.WorkloadSpec{a, b}
+
+	collide := collidingNames(specs)
+	if !collide[a.Name] {
+		t.Fatalf("collidingNames missed the shared name %q", a.Name)
+	}
+
+	prof := ensembleio.Franklin()
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		k, err := ensembleio.ScenarioCacheKey(spec, prof, nil, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := artifactBase(spec.Name, k, 7, collide[spec.Name])
+		if seen[base] {
+			t.Fatalf("artifact basename %q collides across distinct specs", base)
+		}
+		seen[base] = true
+	}
+}
+
+// The same spec at several seeds is not a collision: the familiar
+// NAME-seedS names must survive.
+func TestArtifactBasenamesStableWithoutCollision(t *testing.T) {
+	a := wldsl.Generate(3)
+	collide := collidingNames([]*ensembleio.WorkloadSpec{a, a})
+	if collide[a.Name] {
+		t.Fatalf("identical specs flagged as colliding")
+	}
+	k, err := ensembleio.ScenarioCacheKey(a, ensembleio.Franklin(), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := artifactBase(a.Name, k, 4, false), a.Name+"-seed4"; got != want {
+		t.Fatalf("base %q, want %q", got, want)
+	}
+}
+
+func TestParseGen(t *testing.T) {
+	cases := []struct {
+		in      string
+		lo, hi  int64
+		isRange bool
+		wantErr bool
+	}{
+		{in: "", lo: 0, hi: 0},
+		{in: "5", lo: 5},
+		{in: "0", lo: 0},
+		{in: "3-7", lo: 3, hi: 7, isRange: true},
+		{in: "7-3", wantErr: true},
+		{in: "x", wantErr: true},
+		{in: "-5", wantErr: true},
+		{in: "1-", wantErr: true},
+	}
+	for _, c := range cases {
+		lo, hi, isRange, err := parseGen(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseGen(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && (lo != c.lo || hi != c.hi || isRange != c.isRange) {
+			t.Errorf("parseGen(%q) = (%d,%d,%v), want (%d,%d,%v)", c.in, lo, hi, isRange, c.lo, c.hi, c.isRange)
+		}
+	}
+}

@@ -609,3 +609,65 @@ func TestTenancyDeterministic(t *testing.T) {
 			len(sequential), len(eventPath), i)
 	}
 }
+
+// TestCacheHitByteIdenticalToFreshRun is the determinism-suite entry
+// for the content-addressed run cache: an artifact set served from the
+// cache must be byte-identical to a fresh computation of the same
+// scenario — across worker counts (-j1 vs -j4) and across the analytic
+// fast path being on or off (the platform section of the cache key
+// excludes AnalyticOff, so one cached run serves both sim paths).
+func TestCacheHitByteIdenticalToFreshRun(t *testing.T) {
+	specs := []*ensembleio.WorkloadSpec{
+		ensembleio.GenerateWorkload(1),
+		ensembleio.GenerateWorkload(2),
+	}
+	entriesOn := make([]ensembleio.CampaignEntry, 0, len(specs))
+	entriesOff := make([]ensembleio.CampaignEntry, 0, len(specs))
+	for i, spec := range specs {
+		on := ensembleio.Franklin()
+		off := ensembleio.Franklin()
+		off.AnalyticOff = true
+		entriesOn = append(entriesOn, ensembleio.CampaignEntry{
+			Name: spec.Name, Spec: spec, Platform: on, Seed: int64(i + 1),
+		})
+		entriesOff = append(entriesOff, ensembleio.CampaignEntry{
+			Name: spec.Name, Spec: spec, Platform: off, Seed: int64(i + 1),
+		})
+	}
+
+	// Fresh baseline: no cache, analytic on, one worker.
+	fresh, _, err := ensembleio.RunCampaign(entriesOn, ensembleio.CampaignOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := ensembleio.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate at -j4 with the event path (analytic off).
+	populate, popStats, err := ensembleio.RunCampaign(entriesOff, ensembleio.CampaignOptions{Workers: 4, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popStats.Misses != len(specs) {
+		t.Fatalf("populate stats %+v", popStats)
+	}
+	// Serve at -j1 with the analytic path on: every entry must hit, and
+	// -cache-verify style recomputation must agree byte for byte.
+	served, srvStats, err := ensembleio.RunCampaign(entriesOn, ensembleio.CampaignOptions{Workers: 1, Store: store, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srvStats.Hits != len(specs) || srvStats.Misses != 0 {
+		t.Fatalf("serve stats %+v", srvStats)
+	}
+	for i := range fresh {
+		if err := ensembleio.DiffCacheArtifacts(fresh[i].Artifacts, populate[i].Artifacts); err != nil {
+			t.Errorf("entry %d: fresh(j1,analytic) vs computed(j4,event): %v", i, err)
+		}
+		if err := ensembleio.DiffCacheArtifacts(fresh[i].Artifacts, served[i].Artifacts); err != nil {
+			t.Errorf("entry %d: fresh(j1,analytic) vs cache-served(j1,analytic): %v", i, err)
+		}
+	}
+}

@@ -31,8 +31,10 @@ import (
 	"ensembleio/internal/sim"
 
 	"ensembleio/internal/analysis"
+	"ensembleio/internal/cascache"
 	"ensembleio/internal/cluster"
 	"ensembleio/internal/ensemble"
+	"ensembleio/internal/ensemble/campaign"
 	"ensembleio/internal/faults"
 	"ensembleio/internal/ipmio"
 	"ensembleio/internal/runpool"
@@ -589,3 +591,68 @@ func SaveProfile(w io.Writer, p *Profile) error { return tracefmt.WriteProfile(w
 
 // LoadProfile reads a profile.
 func LoadProfile(r io.Reader) (*Profile, error) { return tracefmt.ReadProfile(r) }
+
+// Content-addressed run cache (internal/cascache): because every run
+// is a pure function of (workload, platform, faults, seed) with
+// byte-identical artifacts, full artifact sets are memoized under a
+// canonical scenario key — run once, serve every identical request.
+
+type (
+	// CacheStore is the on-disk content-addressed artifact store plus
+	// its in-process MRU layer.
+	CacheStore = cascache.Store
+	// CacheKey is a canonical scenario identity.
+	CacheKey = cascache.Key
+	// CacheStats is a snapshot of a store's hit/miss/byte counters.
+	CacheStats = cascache.Stats
+	// CacheArtifact is one named blob of a cached artifact set.
+	CacheArtifact = cascache.Artifact
+	// CacheMeta is the human-readable manifest summary stored with
+	// every cached artifact set.
+	CacheMeta = cascache.Meta
+)
+
+// OpenCache opens (creating if needed) the cache rooted at dir.
+func OpenCache(dir string) (*CacheStore, error) { return cascache.Open(dir) }
+
+// ScenarioCacheKey derives the canonical cache key of one workload
+// run. Sim-path-irrelevant platform fields (AnalyticOff) are excluded:
+// both sim paths produce — and are served — the same bytes.
+func ScenarioCacheKey(spec *WorkloadSpec, prof Platform, sc *Scenario, seed int64) (CacheKey, error) {
+	return cascache.ScenarioKey(spec, prof, sc, seed)
+}
+
+// CanonicalWorkloadBytes returns a workload spec's canonical encoding
+// — the identity bytes cache keys are derived from.
+func CanonicalWorkloadBytes(s *WorkloadSpec) ([]byte, error) { return wldsl.CanonicalBytes(s) }
+
+// CanonicalScenario returns a fault scenario's canonical bytes (nil
+// maps to "none") — the faults section of a cache key.
+func CanonicalScenario(s *Scenario) ([]byte, error) { return faults.Canonical(s) }
+
+// DiffCacheArtifacts compares two artifact sets byte for byte and
+// reports the first divergence (nil when identical) — the check behind
+// -cache-verify.
+func DiffCacheArtifacts(served, fresh []CacheArtifact) error {
+	return cascache.DiffArtifacts(served, fresh)
+}
+
+// Batch campaign runner (internal/ensemble/campaign): dedups a
+// duplicate-heavy scenario grid against the cache and computes only
+// the misses, with submission-order-stable results.
+
+type (
+	// CampaignEntry is one scenario of a campaign.
+	CampaignEntry = campaign.Entry
+	// CampaignOptions configures a campaign run.
+	CampaignOptions = campaign.Options
+	// CampaignResult is one entry's outcome.
+	CampaignResult = campaign.Result
+	// CampaignStats summarizes a campaign's cache effectiveness.
+	CampaignStats = campaign.Stats
+)
+
+// RunCampaign executes a campaign; see campaign.Run.
+func RunCampaign(entries []CampaignEntry, opts CampaignOptions) ([]CampaignResult, CampaignStats, error) {
+	return campaign.Run(entries, opts)
+}

@@ -39,6 +39,19 @@ func OnOff(name string, def bool, usage string) *bool {
 	return &v
 }
 
+// CacheFlags registers the content-addressed run-cache flags the run
+// CLIs share: -cache DIR enables the cascache store (hits serve the
+// memoized artifact set, byte-identical to a fresh run), and
+// -cache-verify is the paranoid mode that recomputes every hit and
+// fails the run on any byte difference.
+func CacheFlags() (dir *string, verify *bool) {
+	dir = flag.String("cache", "",
+		"content-addressed run cache directory (hits are byte-identical to fresh runs)")
+	verify = flag.Bool("cache-verify", false,
+		"recompute every cache hit and fail on any byte difference (paranoid; implies the run cost of a miss)")
+	return dir, verify
+}
+
 // Version renders the build's identity from the binary's embedded
 // build info: module version plus VCS revision and dirty marker when
 // the binary was built from a checkout. Telemetry snapshots and bench

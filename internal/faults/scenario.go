@@ -123,6 +123,18 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 	}{Name: s.Name, Faults: entries})
 }
 
+// Canonical returns the scenario's canonical bytes: the deterministic
+// MarshalJSON encoding (sorted keys, compact), with a nil scenario
+// mapping to the literal "none". This is the fault-scenario component
+// of the content-addressed cache key (internal/cascache): two
+// scenarios with the same canonical bytes inject the same faults.
+func Canonical(s *Scenario) ([]byte, error) {
+	if s == nil {
+		return []byte("none"), nil
+	}
+	return json.Marshal(*s)
+}
+
 // Parse reads and validates a scenario spec.
 func Parse(r io.Reader) (*Scenario, error) {
 	dec := json.NewDecoder(r)
